@@ -1,0 +1,134 @@
+//! Area and power composition (paper Table 5 and the Section 6.3 area
+//! claims).
+
+use dbi::Alpha;
+
+use crate::sram::SramArray;
+use crate::storage::{CacheStorage, EccMode};
+
+/// Fraction of LLC lookups that also touch the DBI (writeback marks,
+/// eviction checks, bypass checks) — used for the dynamic-power estimate.
+/// Measured from the system simulator across the single-core suite.
+pub const DBI_ACCESS_RATIO: f64 = 0.5;
+
+/// Power overhead of adding a DBI to a cache (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbiPowerOverhead {
+    /// DBI leakage as a fraction of total cache static power.
+    pub static_fraction: f64,
+    /// DBI access energy as a fraction of cache dynamic power.
+    pub dynamic_fraction: f64,
+}
+
+impl DbiPowerOverhead {
+    /// Computes the overhead for a cache of `capacity_bytes` with the
+    /// given DBI geometry.
+    #[must_use]
+    pub fn for_cache(capacity_bytes: u64, alpha: Alpha, granularity: usize) -> Self {
+        let storage = CacheStorage::paper_cache(capacity_bytes);
+        let cache_bits =
+            storage.conventional_tag_store_bits(EccMode::None) + storage.data_bits();
+        let cache = SramArray::new(cache_bits);
+        let dbi = SramArray::new(storage.dbi_bits(alpha, granularity, EccMode::None));
+
+        DbiPowerOverhead {
+            static_fraction: dbi.leakage_mw() / (cache.leakage_mw() + dbi.leakage_mw()),
+            dynamic_fraction: DBI_ACCESS_RATIO * dbi.access_energy_pj()
+                / cache.access_energy_pj(),
+        }
+    }
+}
+
+/// Area comparison of the two organizations (paper Section 6.3: a 16 MB
+/// ECC-protected cache shrinks ~8% at α = 1/4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaComparison {
+    /// Conventional organization area, mm².
+    pub conventional_mm2: f64,
+    /// DBI organization area (tag store + DBI + data), mm².
+    pub dbi_mm2: f64,
+}
+
+impl AreaComparison {
+    /// Computes both organizations' areas.
+    #[must_use]
+    pub fn for_cache(capacity_bytes: u64, alpha: Alpha, granularity: usize, ecc: EccMode) -> Self {
+        let storage = CacheStorage::paper_cache(capacity_bytes);
+        let data = SramArray::new(storage.data_bits()).area_mm2();
+        let conventional =
+            data + SramArray::new(storage.conventional_tag_store_bits(ecc)).area_mm2();
+        let dbi_org = data
+            + SramArray::new(storage.dbi_tag_store_bits(ecc)).area_mm2()
+            + SramArray::new(storage.dbi_bits(alpha, granularity, ecc)).area_mm2();
+        AreaComparison {
+            conventional_mm2: conventional,
+            dbi_mm2: dbi_org,
+        }
+    }
+
+    /// Fractional area reduction of the DBI organization.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.dbi_mm2 / self.conventional_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    #[test]
+    fn static_overhead_is_marginal() {
+        // Paper Table 5: static overhead 0.12%-0.22% across 2-16 MB.
+        for size in [2, 4, 8, 16] {
+            let o = DbiPowerOverhead::for_cache(mb(size), Alpha::QUARTER, 64);
+            assert!(
+                o.static_fraction > 0.0003 && o.static_fraction < 0.004,
+                "{size} MB: static fraction {:.5}",
+                o.static_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_overhead_is_a_few_percent() {
+        // Paper Table 5: dynamic overhead 1%-4%.
+        for size in [2, 4, 8, 16] {
+            let o = DbiPowerOverhead::for_cache(mb(size), Alpha::QUARTER, 64);
+            assert!(
+                o.dynamic_fraction > 0.004 && o.dynamic_fraction < 0.06,
+                "{size} MB: dynamic fraction {:.4}",
+                o.dynamic_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn paper_area_claim_16mb() {
+        // Paper Section 6.3: 16 MB with ECC shrinks ~8% at alpha = 1/4 and
+        // ~5% at alpha = 1/2.
+        let quarter = AreaComparison::for_cache(mb(16), Alpha::QUARTER, 64, EccMode::Secded);
+        let half = AreaComparison::for_cache(mb(16), Alpha::HALF, 64, EccMode::Secded);
+        assert!(
+            (0.05..=0.10).contains(&quarter.reduction()),
+            "alpha=1/4 area reduction {:.3}",
+            quarter.reduction()
+        );
+        assert!(
+            (0.025..=0.06).contains(&half.reduction()),
+            "alpha=1/2 area reduction {:.3}",
+            half.reduction()
+        );
+        assert!(quarter.reduction() > half.reduction());
+    }
+
+    #[test]
+    fn no_ecc_area_change_is_tiny() {
+        let c = AreaComparison::for_cache(mb(16), Alpha::QUARTER, 64, EccMode::None);
+        assert!(c.reduction().abs() < 0.005);
+    }
+}

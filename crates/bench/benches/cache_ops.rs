@@ -1,0 +1,85 @@
+//! Microbenchmarks of the cache substrate: the demand access path and the
+//! auxiliary structures (dueling selector, miss predictor, SSV refresh)
+//! that the LLC mechanisms lean on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cache_sim::dueling::DuelingSelector;
+use cache_sim::predictor::{MissPredictor, MissPredictorConfig};
+use cache_sim::ssv::SetStateVector;
+use cache_sim::{Cache, CacheConfig, InsertPos};
+
+fn llc() -> Cache {
+    Cache::new(CacheConfig::new(2 * 1024 * 1024, 16, 64).expect("paper LLC"))
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.bench_function("touch_hit", |bencher| {
+        let mut cache = llc();
+        for b in 0..32 * 1024u64 {
+            cache.insert(b, 0, InsertPos::Mru, false);
+        }
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b = (b + 4097) % (32 * 1024);
+            black_box(cache.touch(black_box(b)))
+        });
+    });
+    group.bench_function("miss_fill_evict", |bencher| {
+        let mut cache = llc();
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b += 1;
+            black_box(cache.insert(black_box(b), 0, InsertPos::Mru, b.is_multiple_of(3)))
+        });
+    });
+    group.bench_function("lru_rank", |bencher| {
+        let mut cache = llc();
+        for b in 0..32 * 1024u64 {
+            cache.insert(b, 0, InsertPos::Mru, false);
+        }
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b = (b + 31) % (32 * 1024);
+            black_box(cache.lru_rank(black_box(b)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_side_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_side_structures");
+    group.bench_function("dueling_choose", |bencher| {
+        let duel = DuelingSelector::new(2048, 32, 8, 10);
+        let mut set = 0u64;
+        bencher.iter(|| {
+            set = (set + 7) % 2048;
+            black_box(duel.choose(black_box(set), (set % 8) as u8))
+        });
+    });
+    group.bench_function("predictor_should_bypass", |bencher| {
+        let pred = MissPredictor::new(MissPredictorConfig::default(), 2048, 8);
+        let mut set = 0u64;
+        bencher.iter(|| {
+            set = (set + 7) % 2048;
+            black_box(pred.should_bypass((set % 8) as u8, black_box(set)))
+        });
+    });
+    group.bench_function("ssv_refresh", |bencher| {
+        let mut cache = llc();
+        for b in 0..32 * 1024u64 {
+            cache.insert(b, 0, InsertPos::Mru, b % 5 == 0);
+        }
+        let mut ssv = SetStateVector::new(2048, 4);
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b = (b + 13) % (32 * 1024);
+            black_box(ssv.refresh(&cache, black_box(b)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_path, bench_side_structures);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the DRAM controller — and the drain-cost asymmetry
+//! the whole paper rides on: draining 64 row-clustered writes versus 64
+//! row-scattered writes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_sim::{DramConfig, MemoryController};
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_read");
+    group.bench_function("row_hit_stream", |bencher| {
+        let mut m = MemoryController::new(DramConfig::ddr3_1066());
+        let mut now = 0u64;
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b += 1;
+            now = m.read(black_box(b), now);
+            black_box(now)
+        });
+    });
+    group.bench_function("row_miss_random", |bencher| {
+        let mut m = MemoryController::new(DramConfig::ddr3_1066());
+        let mut now = 0u64;
+        let mut x = 0x9e37_79b9u64;
+        bencher.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now = m.read(black_box(x % (1 << 24)), now);
+            black_box(now)
+        });
+    });
+    group.finish();
+}
+
+fn bench_drains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_drain");
+    group.bench_function("clustered_64_writes", |bencher| {
+        bencher.iter_batched(
+            || MemoryController::new(DramConfig::ddr3_1066()),
+            |mut m| {
+                // One full DRAM row: the AWB-style burst.
+                for b in 0..64u64 {
+                    m.enqueue_write(b, 0);
+                }
+                black_box(m.stats().drain_cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("scattered_64_writes", |bencher| {
+        bencher.iter_batched(
+            || MemoryController::new(DramConfig::ddr3_1066()),
+            |mut m| {
+                // One write per row: the eviction-order worst case.
+                for r in 0..64u64 {
+                    m.enqueue_write(r * 128, 0);
+                }
+                black_box(m.stats().drain_cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_drains);
+criterion_main!(benches);

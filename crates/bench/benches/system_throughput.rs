@@ -1,0 +1,36 @@
+//! Whole-system simulation throughput: simulated instructions per second
+//! of wall clock, per mechanism. Tracks the cost of the simulator itself —
+//! regressions here make every experiment slower.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use system_sim::{run_mix, Mechanism, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_throughput");
+    group.sample_size(10);
+    const INSTS: u64 = 200_000;
+    group.throughput(Throughput::Elements(INSTS));
+    for mechanism in [
+        Mechanism::Baseline,
+        Mechanism::Dawb,
+        Mechanism::Dbi { awb: true, clb: true },
+    ] {
+        group.bench_function(mechanism.label(), |bencher| {
+            bencher.iter(|| {
+                let mut config = SystemConfig::for_cores(1, mechanism);
+                config.llc_bytes_per_core = 256 * 1024;
+                config.llc_ways = 16;
+                config.warmup_insts = 50_000;
+                config.measure_insts = INSTS - 50_000;
+                let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
+                black_box(run_mix(&mix, &config).total_insts())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

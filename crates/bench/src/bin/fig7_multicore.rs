@@ -1,0 +1,88 @@
+//! Figure 7 — multi-core system performance.
+//!
+//! Average weighted speedup of 2-, 4-, and 8-core systems under Baseline,
+//! TA-DIP, DAWB, DBI, DBI+AWB, DBI+CLB, and DBI+AWB+CLB (the paper's
+//! Figure 7 set — VWQ is omitted there because DAWB dominates it).
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin fig7_multicore
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, parallel_map, pct, print_table, seeds_from_args, write_tsv, AloneIpcCache, Effort};
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::generate_mixes;
+
+const MECHANISMS: [Mechanism; 7] = [
+    Mechanism::Baseline,
+    Mechanism::TaDip,
+    Mechanism::Dawb,
+    Mechanism::Dbi { awb: false, clb: false },
+    Mechanism::Dbi { awb: true, clb: false },
+    Mechanism::Dbi { awb: false, clb: true },
+    Mechanism::Dbi { awb: true, clb: true },
+];
+
+fn main() {
+    let effort = Effort::from_args();
+    let seeds = seeds_from_args();
+    let mut alone = AloneIpcCache::new();
+
+    let header: Vec<String> = std::iter::once("system".to_string())
+        .chain(MECHANISMS.iter().map(|m| m.label().to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+
+    for cores in [2usize, 4, 8] {
+        let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
+        // Alone baselines first (serial: the cache deduplicates work)...
+        let alone_per_mix: Vec<Vec<f64>> = mixes
+            .iter()
+            .map(|m| alone.for_mix(m.benchmarks(), cores, effort))
+            .collect();
+        // ...then all (mix, mechanism, seed) cells fan out across cores.
+        let cells: Vec<(usize, usize, u64)> = (0..mixes.len())
+            .flat_map(|wi| {
+                (0..MECHANISMS.len()).flat_map(move |mi| (0..seeds).map(move |s| (wi, mi, s)))
+            })
+            .collect();
+        let ws_values = parallel_map(&cells, |&(wi, mi, seed)| {
+            let mut config = config_for(cores, MECHANISMS[mi], effort);
+            config.seed = config.seed.wrapping_add(seed * 10_007);
+            let result = run_mix(&mixes[wi], &config);
+            metrics::weighted_speedup(&result.ipcs(), &alone_per_mix[wi])
+        });
+        eprintln!("fig7: {cores}-core ({} runs) done", cells.len());
+        let mut sums = vec![0.0; MECHANISMS.len()];
+        for (&(_, mi, _), ws) in cells.iter().zip(&ws_values) {
+            sums[mi] += ws;
+        }
+        let means: Vec<f64> = sums
+            .iter()
+            .map(|s| s / (mixes.len() as u64 * seeds) as f64)
+            .collect();
+        let mut row = vec![format!("{cores}-core")];
+        row.extend(means.iter().map(|v| format!("{v:.3}")));
+        rows.push(row);
+        improvements.push((
+            cores,
+            means[6] / means[0] - 1.0, // DBI+AWB+CLB vs Baseline
+            means[6] / means[2] - 1.0, // DBI+AWB+CLB vs DAWB
+            means[4] / means[2] - 1.0, // DBI+AWB vs DAWB
+        ));
+    }
+
+    println!("\n== Figure 7: average weighted speedup ==");
+    print_table(8, 11, &header, &rows);
+    write_tsv("fig7.tsv", &header, &rows);
+
+    println!("\nHeadline improvements (DBI+AWB+CLB):");
+    for (cores, vs_base, vs_dawb, awb_vs_dawb) in improvements {
+        println!(
+            "  {cores}-core: {} vs Baseline, {} vs DAWB (DBI+AWB vs DAWB: {})",
+            pct(vs_base),
+            pct(vs_dawb),
+            pct(awb_vs_dawb)
+        );
+    }
+    println!("  (paper, 8-core: +31% vs Baseline, +6% vs best previous; DBI+AWB vs DAWB +3%)");
+}

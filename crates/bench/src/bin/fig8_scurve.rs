@@ -1,0 +1,68 @@
+//! Figure 8 — per-workload 4-core S-curve.
+//!
+//! Normalized weighted speedup of Baseline, DAWB, and DBI+AWB+CLB for every
+//! 4-core workload, sorted by the improvement of DBI+AWB+CLB (the paper's
+//! Figure 8, 259 workloads at `--full`). Also reports the two takeaways the
+//! paper draws: the win is broad-based, and only a handful of workloads
+//! regress slightly.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin fig8_scurve
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, write_tsv, AloneIpcCache, Effort};
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::generate_mixes;
+
+fn main() {
+    let effort = Effort::from_args();
+    let cores = 4;
+    let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
+    let mut alone = AloneIpcCache::new();
+
+    let mut series: Vec<(String, f64, f64)> = Vec::new(); // (label, dawb, dbi) normalized
+    for (i, mix) in mixes.iter().enumerate() {
+        let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
+        let ws = |mechanism| {
+            let config = config_for(cores, mechanism, effort);
+            metrics::weighted_speedup(&run_mix(mix, &config).ipcs(), &alone_ipcs)
+        };
+        let base = ws(Mechanism::Baseline);
+        let dawb = ws(Mechanism::Dawb) / base;
+        let dbi = ws(Mechanism::Dbi { awb: true, clb: true }) / base;
+        series.push((mix.label(), dawb, dbi));
+        eprintln!("fig8: mix {}/{} done", i + 1, mixes.len());
+    }
+    series.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    println!("\n== Figure 8: 4-core normalized weighted speedup ({} workloads) ==", series.len());
+    println!("{:<44} {:>9} {:>12}", "workload (sorted by DBI+AWB+CLB)", "DAWB", "DBI+AWB+CLB");
+    for (label, dawb, dbi) in &series {
+        println!("{label:<44} {dawb:>9.3} {dbi:>12.3}");
+    }
+    let header: Vec<String> = ["workload", "DAWB", "DBI+AWB+CLB"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(label, dawb, dbi)| {
+            vec![label.clone(), format!("{dawb:.4}"), format!("{dbi:.4}")]
+        })
+        .collect();
+    write_tsv("fig8.tsv", &header, &rows);
+
+    let dbi_vals: Vec<f64> = series.iter().map(|s| s.2).collect();
+    let wins = series.iter().filter(|s| s.2 > s.1).count();
+    let regressions = series.iter().filter(|s| s.2 < 1.0).count();
+    println!(
+        "\nDBI+AWB+CLB beats DAWB on {wins}/{} workloads; regresses vs Baseline on {regressions} \
+         (paper: consistent wins, 7/259 small regressions)",
+        series.len()
+    );
+    println!(
+        "normalized WS: min {:.3}, mean {:.3}, max {:.3}",
+        dbi_vals.iter().copied().fold(f64::INFINITY, f64::min),
+        dbi_vals.iter().sum::<f64>() / dbi_vals.len() as f64,
+        dbi_vals.iter().copied().fold(0.0, f64::max)
+    );
+}

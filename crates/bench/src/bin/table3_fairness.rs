@@ -1,0 +1,77 @@
+//! Table 3 — multi-core performance and fairness.
+//!
+//! Weighted-speedup, instruction-throughput, and harmonic-speedup
+//! improvements, and maximum-slowdown reduction, of DBI+AWB+CLB over the
+//! Baseline for 2/4/8-core systems (the paper's Table 3).
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin table3_fairness
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, pct, print_table, AloneIpcCache, Effort};
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::generate_mixes;
+
+#[derive(Default, Clone, Copy)]
+struct Sums {
+    ws: f64,
+    it: f64,
+    hs: f64,
+    ms: f64,
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let mut alone = AloneIpcCache::new();
+
+    let header: Vec<String> = [
+        "metric",
+        "2-core",
+        "4-core",
+        "8-core",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut cols: Vec<(usize, Sums, Sums)> = Vec::new();
+
+    for cores in [2usize, 4, 8] {
+        let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
+        let mut base = Sums::default();
+        let mut dbi = Sums::default();
+        for (i, mix) in mixes.iter().enumerate() {
+            let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
+            for (mechanism, sums) in [
+                (Mechanism::Baseline, &mut base),
+                (Mechanism::Dbi { awb: true, clb: true }, &mut dbi),
+            ] {
+                let config = config_for(cores, mechanism, effort);
+                let ipcs = run_mix(mix, &config).ipcs();
+                sums.ws += metrics::weighted_speedup(&ipcs, &alone_ipcs);
+                sums.it += metrics::instruction_throughput(&ipcs);
+                sums.hs += metrics::harmonic_speedup(&ipcs, &alone_ipcs);
+                sums.ms += metrics::maximum_slowdown(&ipcs, &alone_ipcs);
+            }
+            eprintln!("table3: {cores}-core mix {}/{} done", i + 1, mixes.len());
+        }
+        cols.push((cores, base, dbi));
+    }
+
+    println!("\n== Table 3: DBI+AWB+CLB vs Baseline ==");
+    let row = |name: &str, f: &dyn Fn(&Sums, &Sums) -> f64| {
+        let mut cells = vec![name.to_string()];
+        for (_, base, dbi) in &cols {
+            cells.push(pct(f(base, dbi)));
+        }
+        cells
+    };
+    let rows = vec![
+        row("Weighted Speedup Improvement", &|b, d| d.ws / b.ws - 1.0),
+        row("Instruction Throughput Improvement", &|b, d| {
+            d.it / b.it - 1.0
+        }),
+        row("Harmonic Speedup Improvement", &|b, d| d.hs / b.hs - 1.0),
+        row("Maximum Slowdown Reduction", &|b, d| 1.0 - d.ms / b.ms),
+    ];
+    print_table(36, 8, &header, &rows);
+    println!("\n(paper: WS +22/32/31%, IT +23/32/30%, HS +23/36/35%, MS -18/29/28%)");
+}

@@ -1,0 +1,59 @@
+//! Table 4 — bit-storage cost reduction.
+//!
+//! Tag-store and overall cache bit-cost reduction of the DBI organization
+//! versus the conventional one, for α ∈ {1/4, 1/2}, with and without ECC
+//! (the paper's Table 4 — pure bit accounting, no simulation).
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin table4_storage`
+
+use area_model::storage::{CacheStorage, EccMode};
+use dbi::Alpha;
+use dbi_bench::{pct, print_table};
+
+fn main() {
+    let storage = CacheStorage::paper_cache(2 * 1024 * 1024);
+    let header: Vec<String> = [
+        "DBI Size (alpha)",
+        "TagStore",
+        "Cache",
+        "TagStore+ECC",
+        "Cache+ECC",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let mut rows = Vec::new();
+    for alpha in [Alpha::QUARTER, Alpha::HALF] {
+        let plain = storage.compare(alpha, 64, EccMode::None);
+        let ecc = storage.compare(alpha, 64, EccMode::Secded);
+        rows.push(vec![
+            alpha.to_string(),
+            pct(plain.tag_store_reduction()),
+            pct(plain.cache_reduction()),
+            pct(ecc.tag_store_reduction()),
+            pct(ecc.cache_reduction()),
+        ]);
+    }
+    println!("== Table 4: bit storage cost reduction (2 MB LLC, granularity 64) ==");
+    print_table(16, 13, &header, &rows);
+    println!("\n(paper: 1/4 -> 2%, 0.1%, 44%, 7%;  1/2 -> 1%, 0.0%, 26%, 4%)");
+
+    // Section 6.3 area claim, via the analytical SRAM model.
+    println!("\n== Section 6.3: overall cache area (16 MB, with ECC) ==");
+    for alpha in [Alpha::QUARTER, Alpha::HALF] {
+        let cmp = area_model::power::AreaComparison::for_cache(
+            16 * 1024 * 1024,
+            alpha,
+            64,
+            EccMode::Secded,
+        );
+        println!(
+            "  alpha = {alpha}: {} area ({:.2} -> {:.2} mm^2)",
+            pct(-cmp.reduction()),
+            cmp.conventional_mm2,
+            cmp.dbi_mm2
+        );
+    }
+    println!("  (paper: -8% at alpha=1/4, -5% at alpha=1/2)");
+}

@@ -1,0 +1,61 @@
+//! Table 5 — DBI power overhead, plus the Section 6.3 memory-energy claim.
+//!
+//! Static and dynamic power cost of adding a DBI, as a fraction of total
+//! cache power, for 2–16 MB caches (analytical), and the single-core DRAM
+//! energy reduction of DBI+AWB+CLB versus the baseline (simulated; the
+//! paper reports −14% via the Micron power calculator).
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin table5_power
+//! [--quick|--full]`
+
+use area_model::power::DbiPowerOverhead;
+use dbi::Alpha;
+use dbi_bench::{config_for, print_table, Effort};
+use system_sim::{metrics, run_mix, Mechanism};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+
+    println!("== Table 5: DBI power overhead (fraction of total cache power) ==");
+    let header: Vec<String> = ["Cache size", "2 MB", "4 MB", "8 MB", "16 MB"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let sizes = [2u64, 4, 8, 16];
+    let overheads: Vec<DbiPowerOverhead> = sizes
+        .iter()
+        .map(|&s| DbiPowerOverhead::for_cache(s * 1024 * 1024, Alpha::QUARTER, 64))
+        .collect();
+    let rows = vec![
+        std::iter::once("Static".to_string())
+            .chain(overheads.iter().map(|o| format!("{:.2}%", o.static_fraction * 100.0)))
+            .collect::<Vec<_>>(),
+        std::iter::once("Dynamic".to_string())
+            .chain(overheads.iter().map(|o| format!("{:.1}%", o.dynamic_fraction * 100.0)))
+            .collect::<Vec<_>>(),
+    ];
+    print_table(12, 8, &header, &rows);
+    println!("(paper: static 0.12/0.21/0.21/0.22%, dynamic 4/1/1/2%)");
+
+    // Memory-energy reduction across the single-core suite.
+    println!("\n== Section 6.3: single-core DRAM energy, DBI+AWB+CLB vs Baseline ==");
+    let mut ratios = Vec::new();
+    for bench in Benchmark::ALL {
+        let mix = WorkloadMix::new(vec![bench]);
+        let base = run_mix(&mix, &config_for(1, Mechanism::Baseline, effort));
+        let dbi = run_mix(
+            &mix,
+            &config_for(1, Mechanism::Dbi { awb: true, clb: true }, effort),
+        );
+        let ratio = dbi.energy.total_pj() / base.energy.total_pj();
+        ratios.push(ratio);
+        println!("  {:12} {:+6.1}%", bench.label(), (ratio - 1.0) * 100.0);
+    }
+    println!(
+        "  {:12} {:+6.1}%   (paper: -14% on average)",
+        "gmean",
+        (metrics::gmean(&ratios) - 1.0) * 100.0
+    );
+}

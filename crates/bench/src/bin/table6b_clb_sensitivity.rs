@@ -1,0 +1,65 @@
+//! Section 6.4 — CLB sensitivity to predictor parameters.
+//!
+//! The paper reports that for reasonable parameter ranges (bypass threshold
+//! 0.5–0.95, epoch length, DBI size 1/4–1/2) the CLB optimization's
+//! performance barely moves. This binary sweeps those knobs on the
+//! bypass-sensitive benchmarks (libquantum, stream) plus a bypass-averse
+//! one (bzip2) and reports DBI+CLB IPC and bypass rates.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin table6b_clb_sensitivity
+//! [--quick|--full]`
+
+use dbi::Alpha;
+use dbi_bench::{config_for, print_table, Effort};
+use system_sim::{run_mix, Mechanism};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+    let benchmarks = [Benchmark::Libquantum, Benchmark::Stream, Benchmark::Bzip2];
+
+    let header: Vec<String> = std::iter::once("configuration".to_string())
+        .chain(
+            benchmarks
+                .iter()
+                .flat_map(|b| [format!("{b} IPC"), format!("{b} byp/KI")]),
+        )
+        .collect();
+    let mut rows = Vec::new();
+
+    let mut sweep = |label: String, threshold: f64, epoch: u64, alpha: Alpha| {
+        let mut row = vec![label];
+        for &bench in &benchmarks {
+            let mut config = config_for(1, Mechanism::Dbi { awb: false, clb: true }, effort);
+            config.predictor_threshold = threshold;
+            config.predictor_epoch_cycles = epoch;
+            config.dbi.alpha = alpha;
+            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
+            row.push(format!("{:.3}", r.cores[0].ipc()));
+            row.push(format!(
+                "{:.1}",
+                r.llc.bypasses as f64 * 1000.0 / r.total_insts() as f64
+            ));
+        }
+        rows.push(row);
+    };
+
+    for threshold in [0.5, 0.75, 0.9, 0.95] {
+        sweep(format!("threshold={threshold}"), threshold, 500_000, Alpha::QUARTER);
+        eprintln!("clb sweep: threshold {threshold} done");
+    }
+    for epoch in [100_000u64, 500_000, 2_500_000] {
+        sweep(format!("epoch={}k cyc", epoch / 1000), 0.95, epoch, Alpha::QUARTER);
+        eprintln!("clb sweep: epoch {epoch} done");
+    }
+    for alpha in [Alpha::QUARTER, Alpha::HALF] {
+        sweep(format!("alpha={alpha}"), 0.95, 500_000, alpha);
+        eprintln!("clb sweep: alpha {alpha} done");
+    }
+
+    println!("\n== Section 6.4: CLB sensitivity (DBI+CLB) ==");
+    print_table(20, 12, &header, &rows);
+    println!("\n(paper: no significant IPC difference across these ranges;");
+    println!(" bzip2 must show ~zero bypasses in every row)");
+}

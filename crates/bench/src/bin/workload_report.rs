@@ -1,0 +1,69 @@
+//! Workload characterization report.
+//!
+//! Prints each synthetic benchmark's profile parameters, its intensity
+//! classification (the paper's 3×3 grid), and its measured single-core
+//! characteristics under the Baseline — the data behind DESIGN.md's
+//! substitution argument.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin workload_report
+//! [--quick|--full]`
+
+use dbi_bench::{config_for, print_table, Effort};
+use system_sim::{run_mix, Mechanism};
+use trace_gen::mix::{intensity_grid, WorkloadMix};
+use trace_gen::Benchmark;
+
+fn main() {
+    let effort = Effort::from_args();
+
+    println!("== Profile parameters and intensity classes ==");
+    let header: Vec<String> = [
+        "benchmark", "APKI", "wr%", "dep%", "class(R,W)", "hot", "warm", "wr-span", "stream%",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let p = b.profile();
+        rows.push(vec![
+            b.label().to_string(),
+            format!("{:.0}", p.accesses_per_kilo_inst),
+            format!("{:.0}", p.write_fraction * 100.0),
+            format!("{:.0}", p.dependent_fraction * 100.0),
+            format!("{},{}", b.read_class(), b.write_class()),
+            p.hot_blocks.to_string(),
+            p.warm_blocks.to_string(),
+            p.warm_write_blocks.to_string(),
+            format!("{:.0}", p.stream_fraction * 100.0),
+        ]);
+    }
+    print_table(12, 11, &header, &rows);
+
+    println!("\n== Intensity grid population (paper Section 5) ==");
+    for ((read, write), benchmarks) in intensity_grid() {
+        let names: Vec<&str> = benchmarks.iter().map(|b| b.label()).collect();
+        println!("  read {read:6} x write {write:6}: {}", names.join(", "));
+    }
+
+    println!("\n== Measured single-core characteristics (Baseline) ==");
+    let header: Vec<String> = ["benchmark", "IPC", "MPKI", "WPKI", "rd RHR", "wr RHR"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let config = config_for(1, Mechanism::Baseline, effort);
+        let r = run_mix(&WorkloadMix::new(vec![b]), &config);
+        rows.push(vec![
+            b.label().to_string(),
+            format!("{:.3}", r.cores[0].ipc()),
+            format!("{:.1}", r.cores[0].mpki()),
+            format!("{:.1}", r.wpki()),
+            format!("{:.2}", r.dram.read_row_hit_rate().unwrap_or(0.0)),
+            format!("{:.2}", r.dram.write_row_hit_rate().unwrap_or(0.0)),
+        ]);
+        eprintln!("workload report: {} done", b.label());
+    }
+    print_table(12, 8, &header, &rows);
+}

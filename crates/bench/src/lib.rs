@@ -1,0 +1,276 @@
+//! # dbi-bench — shared support for the experiment harness
+//!
+//! Every table and figure of the paper's evaluation (Section 6) has a
+//! regenerating binary in `src/bin/`; this library holds the pieces they
+//! share: effort scaling, workload-mix counts, alone-IPC baselines for the
+//! speedup metrics, and plain-text table formatting.
+//!
+//! Run any binary with `--quick` for a CI-scale pass, the default for a
+//! laptop-scale reproduction, or `--full` for the paper's own workload
+//! counts (102 / 259 / 120 mixes).
+
+use std::collections::HashMap;
+
+use system_sim::{run_alone, Mechanism, SystemConfig};
+use trace_gen::Benchmark;
+
+/// How much work an experiment binary should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Smoke-test scale: minutes for the whole suite.
+    Quick,
+    /// Laptop scale (default): shape-faithful, tens of minutes end to end.
+    Default,
+    /// The paper's own workload counts.
+    Full,
+}
+
+impl Effort {
+    /// Parses `--quick` / `--full` from the process arguments.
+    #[must_use]
+    pub fn from_args() -> Effort {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Effort::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            Effort::Full
+        } else {
+            Effort::Default
+        }
+    }
+
+    /// Number of multi-programmed mixes per core count (paper: 102 / 259 /
+    /// 120 for 2 / 4 / 8 cores).
+    #[must_use]
+    pub fn mix_count(self, cores: usize) -> usize {
+        match (self, cores) {
+            (Effort::Quick, 2) => 6,
+            (Effort::Quick, 4) => 6,
+            (Effort::Quick, _) => 4,
+            (Effort::Default, 2) => 14,
+            (Effort::Default, 4) => 12,
+            (Effort::Default, _) => 8,
+            (Effort::Full, 2) => 102,
+            (Effort::Full, 4) => 259,
+            (Effort::Full, _) => 120,
+        }
+    }
+
+    /// Measurement-window length per core.
+    #[must_use]
+    pub fn measure_insts(self) -> u64 {
+        match self {
+            Effort::Quick => 2_000_000,
+            Effort::Default | Effort::Full => 4_000_000,
+        }
+    }
+
+    /// Warmup length per core (must reach LLC dirty steady state).
+    #[must_use]
+    pub fn warmup_insts(self) -> u64 {
+        match self {
+            Effort::Quick => 8_000_000,
+            Effort::Default | Effort::Full => 12_000_000,
+        }
+    }
+}
+
+/// The mechanisms plotted in Figures 6 and 7 (the paper omits Baseline
+/// from Figure 6 and Skip Cache from both; see Section 6).
+pub const FIGURE_MECHANISMS: [Mechanism; 7] = [
+    Mechanism::TaDip,
+    Mechanism::Dawb,
+    Mechanism::Vwq,
+    Mechanism::Dbi { awb: false, clb: false },
+    Mechanism::Dbi { awb: true, clb: false },
+    Mechanism::Dbi { awb: false, clb: true },
+    Mechanism::Dbi { awb: true, clb: true },
+];
+
+/// Builds a [`SystemConfig`] at the given effort level.
+#[must_use]
+pub fn config_for(cores: usize, mechanism: Mechanism, effort: Effort) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(cores, mechanism);
+    c.warmup_insts = effort.warmup_insts();
+    c.measure_insts = effort.measure_insts();
+    c
+}
+
+/// Computes (and memoizes) each benchmark's alone-IPC on the given system
+/// geometry under the Baseline mechanism — the denominator of every
+/// multi-core speedup metric.
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    cache: HashMap<(usize, Benchmark), f64>,
+}
+
+impl AloneIpcCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        AloneIpcCache::default()
+    }
+
+    /// Alone IPC of `benchmark` on an `cores`-core geometry.
+    pub fn get(&mut self, benchmark: Benchmark, cores: usize, effort: Effort) -> f64 {
+        *self
+            .cache
+            .entry((cores, benchmark))
+            .or_insert_with(|| {
+                let config = config_for(cores, Mechanism::Baseline, effort);
+                run_alone(benchmark, &config).cores[0].ipc()
+            })
+    }
+
+    /// Alone IPCs for every benchmark of a mix, in mix order.
+    pub fn for_mix(
+        &mut self,
+        benchmarks: &[Benchmark],
+        cores: usize,
+        effort: Effort,
+    ) -> Vec<f64> {
+        benchmarks
+            .iter()
+            .map(|&b| self.get(b, cores, effort))
+            .collect()
+    }
+}
+
+/// Prints an aligned table: a header row, then data rows. The first column
+/// is left-aligned, the rest right-aligned at `width`.
+pub fn print_table(first_width: usize, width: usize, header: &[String], rows: &[Vec<String>]) {
+    let print_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<first_width$}"));
+            } else {
+                line.push_str(&format!(" {cell:>width$}"));
+            }
+        }
+        println!("{line}");
+    };
+    print_row(header);
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Maps `f` over `items` on all available cores (scoped threads over a
+/// shared work queue). Results come back in input order; on a single-core
+/// machine this degenerates to a serial loop.
+///
+/// Simulation runs are independent and deterministic, so parallel
+/// execution cannot change any result — only the wall clock. The paper's
+/// `--full` workload counts (259 four-core mixes × mechanisms) are why
+/// this exists.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("no panics while mapping")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Parses an optional `--seeds N` flag (default 1): experiments average
+/// their runs over N trace seeds, trading wall-clock for tighter
+/// estimates.
+#[must_use]
+pub fn seeds_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Formats a fraction as a signed percentage, e.g. `+13.2%`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Writes rows as a tab-separated file under `results/` (creating the
+/// directory if needed), so the figures are machine-readable for plotting.
+/// Errors are reported to stderr, not fatal — the printed tables are the
+/// primary output.
+pub fn write_tsv(name: &str, header: &[String], rows: &[Vec<String>]) {
+    let path = std::path::Path::new("results").join(name);
+    let render = |cells: &[String]| cells.join("\t");
+    let mut out = render(header);
+    for row in rows {
+        out.push('\n');
+        out.push_str(&render(row));
+    }
+    out.push('\n');
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&path, out))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scales_mix_counts() {
+        assert_eq!(Effort::Full.mix_count(4), 259);
+        assert_eq!(Effort::Full.mix_count(2), 102);
+        assert_eq!(Effort::Full.mix_count(8), 120);
+        assert!(Effort::Quick.mix_count(8) < Effort::Default.mix_count(8));
+    }
+
+    #[test]
+    fn figure_mechanisms_match_paper() {
+        assert_eq!(FIGURE_MECHANISMS.len(), 7);
+        assert_eq!(FIGURE_MECHANISMS[0].label(), "TA-DIP");
+        assert_eq!(FIGURE_MECHANISMS[6].label(), "DBI+AWB+CLB");
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(0.132), "+13.2%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+    }
+}

@@ -1,0 +1,623 @@
+//! The set-associative cache model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BlockAddr, ThreadId};
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    capacity_bytes: u64,
+    ways: usize,
+    block_bytes: u32,
+    replacement: ReplacementKind,
+}
+
+/// Error returned for a degenerate [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheConfigError {
+    /// Capacity, associativity, or block size was zero.
+    ZeroParameter,
+    /// Block size was not a power of two.
+    BlockNotPowerOfTwo(u32),
+    /// Capacity is not an integer number of sets of `ways` blocks.
+    UnevenGeometry {
+        /// Total blocks implied by capacity / block size.
+        blocks: u64,
+        /// Requested associativity.
+        ways: usize,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroParameter => {
+                write!(f, "cache capacity, ways, and block size must be nonzero")
+            }
+            CacheConfigError::BlockNotPowerOfTwo(b) => {
+                write!(f, "block size {b} is not a power of two")
+            }
+            CacheConfigError::UnevenGeometry { blocks, ways } => {
+                write!(f, "{blocks} blocks do not divide into sets of {ways} ways")
+            }
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// Creates an LRU cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] if any parameter is zero, the block
+    /// size is not a power of two, or the capacity does not divide evenly
+    /// into sets.
+    pub fn new(
+        capacity_bytes: u64,
+        ways: usize,
+        block_bytes: u32,
+    ) -> Result<CacheConfig, CacheConfigError> {
+        if capacity_bytes == 0 || ways == 0 || block_bytes == 0 {
+            return Err(CacheConfigError::ZeroParameter);
+        }
+        if !block_bytes.is_power_of_two() {
+            return Err(CacheConfigError::BlockNotPowerOfTwo(block_bytes));
+        }
+        let blocks = capacity_bytes / u64::from(block_bytes);
+        if blocks == 0 || !blocks.is_multiple_of(ways as u64) {
+            return Err(CacheConfigError::UnevenGeometry { blocks, ways });
+        }
+        Ok(CacheConfig {
+            capacity_bytes,
+            ways,
+            block_bytes,
+            replacement: ReplacementKind::Lru,
+        })
+    }
+
+    /// Selects the replacement machinery (default LRU).
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: ReplacementKind) -> CacheConfig {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Replacement machinery.
+    #[must_use]
+    pub fn replacement(&self) -> ReplacementKind {
+        self.replacement
+    }
+
+    /// Total number of blocks.
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.block_bytes)
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.blocks() / self.ways as u64
+    }
+}
+
+/// The victim-ranking machinery a cache uses within each set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ReplacementKind {
+    /// Classic recency stack. [`InsertPos::Mru`] is the normal insertion;
+    /// [`InsertPos::Lru`] is the bimodal/LIP insertion DIP uses.
+    #[default]
+    Lru,
+    /// Re-Reference Interval Prediction (2-bit RRPV). [`InsertPos::Mru`]
+    /// maps to the SRRIP "long" insertion (RRPV 2), [`InsertPos::Lru`] to
+    /// the BRRIP "distant" insertion (RRPV 3).
+    Rrip,
+}
+
+/// Where a newly inserted block lands in the replacement order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertPos {
+    /// Protected position (MRU / RRPV "long").
+    Mru,
+    /// Eviction-imminent position (LRU / RRPV "distant").
+    Lru,
+}
+
+/// A block displaced by an insertion or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The displaced block.
+    pub block: BlockAddr,
+    /// Whether the tag store believed the block dirty. Caches whose dirty
+    /// bits live in a DBI keep this permanently `false`.
+    pub dirty: bool,
+    /// The thread that inserted the block.
+    pub thread: ThreadId,
+}
+
+/// Event counters for a [`Cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Recency-updating lookups ([`Cache::touch`]).
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Valid blocks displaced by insertions.
+    pub evictions: u64,
+    /// Displaced blocks whose tag dirty bit was set.
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over recency-updating lookups; `None` before any lookup.
+    #[must_use]
+    pub fn miss_ratio(&self) -> Option<f64> {
+        (self.lookups > 0).then(|| 1.0 - self.hits as f64 / self.lookups as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: BlockAddr,
+    valid: bool,
+    dirty: bool,
+    thread: ThreadId,
+    /// LRU timestamp or RRPV, depending on [`ReplacementKind`].
+    meta: i64,
+}
+
+const INVALID: Line = Line {
+    block: 0,
+    valid: false,
+    dirty: false,
+    thread: 0,
+    meta: 0,
+};
+
+const RRPV_MAX: i64 = 3;
+const RRPV_LONG: i64 = 2;
+
+/// A set-associative, write-back cache state model.
+///
+/// Blocks are identified by [`BlockAddr`]; the set index is the low bits of
+/// the block address (block-interleaved), matching how consecutive blocks of
+/// a DRAM row spread across cache sets — the effect that makes DRAM-aware
+/// writeback nontrivial (paper Section 3.1).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: i64,
+    /// Decrementing counter handing out "older than everything" timestamps
+    /// for LRU-position (LIP/bimodal) insertions: the newest such insertion
+    /// is always the set's next victim.
+    low_clock: i64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = vec![INVALID; config.blocks() as usize];
+        Cache {
+            config,
+            lines,
+            clock: 0,
+            low_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Set index of `block`.
+    #[must_use]
+    pub fn set_of(&self, block: BlockAddr) -> u64 {
+        block % self.config.sets()
+    }
+
+    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
+        let set = self.set_of(block) as usize;
+        let ways = self.config.ways;
+        set * ways..(set + 1) * ways
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        self.set_range(block)
+            .find(|&i| self.lines[i].valid && self.lines[i].block == block)
+    }
+
+    /// Probes for `block` without updating replacement state or stats
+    /// (a coherence-style or metadata probe).
+    #[must_use]
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Looks up `block` and, on a hit, promotes it (recency update / RRPV
+    /// reset). Returns whether it hit. This is the demand-access path.
+    pub fn touch(&mut self, block: BlockAddr) -> bool {
+        self.stats.lookups += 1;
+        match self.find(block) {
+            Some(i) => {
+                self.stats.hits += 1;
+                match self.config.replacement {
+                    ReplacementKind::Lru => {
+                        self.clock += 1;
+                        self.lines[i].meta = self.clock;
+                    }
+                    ReplacementKind::Rrip => self.lines[i].meta = 0,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `block` at `pos`, returning the displaced victim if the set
+    /// was full. If the block is already resident this is a no-op promote.
+    pub fn insert(
+        &mut self,
+        block: BlockAddr,
+        thread: ThreadId,
+        pos: InsertPos,
+        dirty: bool,
+    ) -> Option<Victim> {
+        if let Some(i) = self.find(block) {
+            // Refill of a resident block: merge dirty state, keep recency.
+            self.lines[i].dirty |= dirty;
+            return None;
+        }
+        self.stats.insertions += 1;
+        let range = self.set_range(block);
+        let slot = match range.clone().find(|&i| !self.lines[i].valid) {
+            Some(free) => free,
+            None => self.victim_way(range),
+        };
+        let victim = self.lines[slot].valid.then(|| {
+            self.stats.evictions += 1;
+            if self.lines[slot].dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Victim {
+                block: self.lines[slot].block,
+                dirty: self.lines[slot].dirty,
+                thread: self.lines[slot].thread,
+            }
+        });
+        let meta = match (self.config.replacement, pos) {
+            (ReplacementKind::Lru, InsertPos::Mru) => {
+                self.clock += 1;
+                self.clock
+            }
+            (ReplacementKind::Lru, InsertPos::Lru) => {
+                // Older than everything resident: next in line for eviction.
+                self.low_clock -= 1;
+                self.low_clock
+            }
+            (ReplacementKind::Rrip, InsertPos::Mru) => RRPV_LONG,
+            (ReplacementKind::Rrip, InsertPos::Lru) => RRPV_MAX,
+        };
+        self.lines[slot] = Line {
+            block,
+            valid: true,
+            dirty,
+            thread,
+            meta,
+        };
+        victim
+    }
+
+    fn victim_way(&mut self, range: std::ops::Range<usize>) -> usize {
+        match self.config.replacement {
+            ReplacementKind::Lru => range
+                .clone()
+                .min_by_key(|&i| self.lines[i].meta)
+                .expect("nonempty set"),
+            ReplacementKind::Rrip => loop {
+                if let Some(i) = range.clone().find(|&i| self.lines[i].meta >= RRPV_MAX) {
+                    break i;
+                }
+                for i in range.clone() {
+                    self.lines[i].meta += 1;
+                }
+            },
+        }
+    }
+
+    /// Removes `block`, returning its line if it was resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<Victim> {
+        let i = self.find(block)?;
+        let line = self.lines[i];
+        self.lines[i] = INVALID;
+        Some(Victim {
+            block: line.block,
+            dirty: line.dirty,
+            thread: line.thread,
+        })
+    }
+
+    /// Tag-store dirty bit of `block`; `None` if not resident.
+    #[must_use]
+    pub fn is_dirty(&self, block: BlockAddr) -> Option<bool> {
+        self.find(block).map(|i| self.lines[i].dirty)
+    }
+
+    /// Thread that inserted `block`; `None` if not resident.
+    #[must_use]
+    pub fn owner(&self, block: BlockAddr) -> Option<ThreadId> {
+        self.find(block).map(|i| self.lines[i].thread)
+    }
+
+    /// Sets or clears the tag-store dirty bit. Returns `false` if the block
+    /// is not resident.
+    pub fn set_dirty(&mut self, block: BlockAddr, dirty: bool) -> bool {
+        match self.find(block) {
+            Some(i) => {
+                self.lines[i].dirty = dirty;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Recency rank of `block` in its set: 0 = LRU (next victim),
+    /// `ways-1` = MRU. `None` if not resident.
+    ///
+    /// The Virtual Write Queue's Set State Vector summarizes exactly this:
+    /// whether a set holds dirty blocks in its low recency ranks.
+    #[must_use]
+    pub fn lru_rank(&self, block: BlockAddr) -> Option<usize> {
+        let i = self.find(block)?;
+        let rank = self
+            .set_range(block)
+            .filter(|&j| j != i && self.lines[j].valid)
+            .filter(|&j| match self.config.replacement {
+                // Older timestamps are closer to eviction.
+                ReplacementKind::Lru => self.lines[j].meta < self.lines[i].meta,
+                // Higher RRPVs are closer to eviction.
+                ReplacementKind::Rrip => self.lines[j].meta > self.lines[i].meta,
+            })
+            .count();
+        Some(rank)
+    }
+
+    /// Dirty blocks of the set containing `set_probe` whose recency rank is
+    /// below `ways_from_lru` — the candidates a Virtual Write Queue sweep
+    /// would harvest from this set.
+    #[must_use]
+    pub fn dirty_in_lru_ways(&self, set_probe: BlockAddr, ways_from_lru: usize) -> Vec<BlockAddr> {
+        let mut out: Vec<BlockAddr> = self
+            .set_range(set_probe)
+            .filter(|&i| self.lines[i].valid && self.lines[i].dirty)
+            .map(|i| self.lines[i].block)
+            .filter(|&b| self.lru_rank(b).is_some_and(|r| r < ways_from_lru))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates over all resident blocks as `(block, dirty, thread)`.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockAddr, bool, ThreadId)> + '_ {
+        self.lines
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| (l.block, l.dirty, l.thread))
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn resident(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Event counters since construction or the last
+    /// [`take_stats`](Cache::take_stats).
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Returns the counters and resets them.
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> Cache {
+        // 4 sets x `ways` ways, 64 B blocks.
+        Cache::new(CacheConfig::new(4 * ways as u64 * 64, ways, 64).unwrap())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::new(0, 2, 64).is_err());
+        assert!(CacheConfig::new(1024, 0, 64).is_err());
+        assert!(CacheConfig::new(1024, 2, 0).is_err());
+        assert!(matches!(
+            CacheConfig::new(1024, 2, 48),
+            Err(CacheConfigError::BlockNotPowerOfTwo(48))
+        ));
+        assert!(matches!(
+            CacheConfig::new(64 * 3, 2, 64),
+            Err(CacheConfigError::UnevenGeometry { .. })
+        ));
+        let c = CacheConfig::new(2 * 1024 * 1024, 16, 64).unwrap();
+        assert_eq!(c.blocks(), 32 * 1024);
+        assert_eq!(c.sets(), 2048);
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = tiny(2);
+        assert!(!c.touch(5));
+        c.insert(5, 0, InsertPos::Mru, false);
+        assert!(c.touch(5));
+        assert!(c.probe(5));
+        assert!(!c.probe(9));
+        assert_eq!(c.stats().lookups, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(2);
+        // Blocks 0, 4, 8 share set 0 (4 sets).
+        c.insert(0, 0, InsertPos::Mru, false);
+        c.insert(4, 0, InsertPos::Mru, true);
+        c.touch(0); // 4 is now LRU
+        let v = c.insert(8, 0, InsertPos::Mru, false).expect("eviction");
+        assert_eq!(v.block, 4);
+        assert!(v.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert!(c.probe(0) && c.probe(8) && !c.probe(4));
+    }
+
+    #[test]
+    fn lru_insertion_position_is_next_victim() {
+        let mut c = tiny(2);
+        c.insert(0, 0, InsertPos::Mru, false);
+        c.insert(4, 0, InsertPos::Lru, false); // bimodal insertion
+        let v = c.insert(8, 0, InsertPos::Mru, false).expect("eviction");
+        assert_eq!(v.block, 4, "LIP-inserted block evicted first");
+    }
+
+    #[test]
+    fn rrip_promote_on_hit() {
+        let mut c = Cache::new(
+            CacheConfig::new(4 * 2 * 64, 2, 64)
+                .unwrap()
+                .with_replacement(ReplacementKind::Rrip),
+        );
+        c.insert(0, 0, InsertPos::Mru, false);
+        c.insert(4, 0, InsertPos::Mru, false);
+        c.touch(0); // RRPV 0; block 4 stays at RRPV 2
+        let v = c.insert(8, 0, InsertPos::Mru, false).expect("eviction");
+        assert_eq!(v.block, 4);
+    }
+
+    #[test]
+    fn rrip_distant_insertion_evicted_first() {
+        let mut c = Cache::new(
+            CacheConfig::new(4 * 2 * 64, 2, 64)
+                .unwrap()
+                .with_replacement(ReplacementKind::Rrip),
+        );
+        c.insert(0, 0, InsertPos::Mru, false);
+        c.insert(4, 0, InsertPos::Lru, false); // RRPV 3
+        let v = c.insert(8, 0, InsertPos::Mru, false).expect("eviction");
+        assert_eq!(v.block, 4);
+    }
+
+    #[test]
+    fn refill_of_resident_block_merges_dirty() {
+        let mut c = tiny(2);
+        c.insert(0, 0, InsertPos::Mru, false);
+        assert_eq!(c.is_dirty(0), Some(false));
+        assert!(c.insert(0, 0, InsertPos::Mru, true).is_none());
+        assert_eq!(c.is_dirty(0), Some(true));
+        assert_eq!(c.stats().insertions, 1, "refill is not a new insertion");
+    }
+
+    #[test]
+    fn dirty_bit_roundtrip_and_invalidate() {
+        let mut c = tiny(2);
+        c.insert(7, 3, InsertPos::Mru, false);
+        assert!(c.set_dirty(7, true));
+        assert_eq!(c.is_dirty(7), Some(true));
+        assert!(c.set_dirty(7, false));
+        assert_eq!(c.is_dirty(7), Some(false));
+        assert!(!c.set_dirty(9, true));
+        let v = c.invalidate(7).expect("resident");
+        assert_eq!(v.thread, 3);
+        assert!(c.invalidate(7).is_none());
+        assert_eq!(c.is_dirty(7), None);
+    }
+
+    #[test]
+    fn lru_rank_orders_by_recency() {
+        let mut c = tiny(4);
+        for b in [0u64, 4, 8, 12] {
+            c.insert(b, 0, InsertPos::Mru, false);
+        }
+        assert_eq!(c.lru_rank(0), Some(0));
+        assert_eq!(c.lru_rank(12), Some(3));
+        c.touch(0);
+        assert_eq!(c.lru_rank(0), Some(3));
+        assert_eq!(c.lru_rank(4), Some(0));
+        assert_eq!(c.lru_rank(99), None);
+    }
+
+    #[test]
+    fn dirty_in_lru_ways_filters_by_rank_and_dirtiness() {
+        let mut c = tiny(4);
+        c.insert(0, 0, InsertPos::Mru, true); // rank 0 after later inserts
+        c.insert(4, 0, InsertPos::Mru, false); // rank 1, clean
+        c.insert(8, 0, InsertPos::Mru, true); // rank 2
+        c.insert(12, 0, InsertPos::Mru, true); // rank 3 (MRU)
+        assert_eq!(c.dirty_in_lru_ways(0, 2), vec![0]);
+        assert_eq!(c.dirty_in_lru_ways(0, 3), vec![0, 8]);
+        assert_eq!(c.dirty_in_lru_ways(0, 4), vec![0, 8, 12]);
+        assert!(c.dirty_in_lru_ways(1, 4).is_empty(), "other set is empty");
+    }
+
+    #[test]
+    fn blocks_iterates_resident_lines() {
+        let mut c = tiny(2);
+        c.insert(3, 1, InsertPos::Mru, true);
+        c.insert(6, 2, InsertPos::Mru, false);
+        let mut all: Vec<_> = c.blocks().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(3, true, 1), (6, false, 2)]);
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn miss_ratio_reporting() {
+        let mut c = tiny(2);
+        assert_eq!(c.stats().miss_ratio(), None);
+        c.touch(0);
+        c.insert(0, 0, InsertPos::Mru, false);
+        c.touch(0);
+        assert_eq!(c.stats().miss_ratio(), Some(0.5));
+        let taken = c.take_stats();
+        assert_eq!(taken.lookups, 2);
+        assert_eq!(c.stats().lookups, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Fixed-width dirty bit vectors.
+//!
+//! Each DBI entry tracks the dirty status of every block in one DRAM row
+//! with a bit vector of `granularity` bits. Granularities in the paper's
+//! design space are 16–128 bits, so a small inline array of `u64` words is
+//! plenty; we support up to 512 bits to leave room for large rows.
+
+/// Maximum number of bits a [`DirtyVec`] can hold.
+pub const MAX_BITS: usize = 512;
+
+const WORD_BITS: usize = 64;
+const MAX_WORDS: usize = MAX_BITS / WORD_BITS;
+
+/// A fixed-width bit vector recording which blocks of a DRAM row are dirty.
+///
+/// The width is fixed at construction time (the DBI granularity) and every
+/// operation panics on out-of-range indices — an out-of-range block index is
+/// always a logic error in the caller, never recoverable data.
+///
+/// # Example
+///
+/// ```
+/// use dbi::DirtyVec;
+///
+/// let mut v = DirtyVec::new(64);
+/// v.set(3);
+/// v.set(60);
+/// assert!(v.get(3));
+/// assert_eq!(v.count(), 2);
+/// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 60]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DirtyVec {
+    words: [u64; MAX_WORDS],
+    len: u16,
+}
+
+impl DirtyVec {
+    /// Creates an all-clear vector of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than [`MAX_BITS`].
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len > 0 && len <= MAX_BITS,
+            "DirtyVec length {len} out of range 1..={MAX_BITS}"
+        );
+        Self {
+            words: [0; MAX_WORDS],
+            len: len as u16,
+        }
+    }
+
+    /// Number of bits in the vector (the DBI granularity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Returns `true` if no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn check(&self, bit: usize) {
+        assert!(
+            bit < self.len(),
+            "bit index {bit} out of range for DirtyVec of length {}",
+            self.len()
+        );
+    }
+
+    /// Sets `bit`, returning `true` if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.len()`.
+    pub fn set(&mut self, bit: usize) -> bool {
+        self.check(bit);
+        let (w, m) = (bit / WORD_BITS, 1u64 << (bit % WORD_BITS));
+        let was_clear = self.words[w] & m == 0;
+        self.words[w] |= m;
+        was_clear
+    }
+
+    /// Clears `bit`, returning `true` if it was previously set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.len()`.
+    pub fn clear(&mut self, bit: usize) -> bool {
+        self.check(bit);
+        let (w, m) = (bit / WORD_BITS, 1u64 << (bit % WORD_BITS));
+        let was_set = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        was_set
+    }
+
+    /// Returns whether `bit` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.len()`.
+    #[must_use]
+    pub fn get(&self, bit: usize) -> bool {
+        self.check(bit);
+        self.words[bit / WORD_BITS] & (1 << (bit % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits (dirty blocks in the row).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words = [0; MAX_WORDS];
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            word: 0,
+            bits: self.words[0],
+        }
+    }
+}
+
+impl std::fmt::Debug for DirtyVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DirtyVec({}b:", self.len)?;
+        let mut first = true;
+        for one in self.iter_ones() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, " {one}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Iterator over the set bits of a [`DirtyVec`], produced by
+/// [`DirtyVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    vec: &'a DirtyVec,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * WORD_BITS + bit);
+            }
+            self.word += 1;
+            if self.word >= MAX_WORDS {
+                return None;
+            }
+            self.bits = self.vec.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let v = DirtyVec::new(128);
+        assert_eq!(v.len(), 128);
+        assert!(v.is_empty());
+        assert_eq!(v.count(), 0);
+        assert_eq!(v.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = DirtyVec::new(128);
+        assert!(v.set(0));
+        assert!(v.set(63));
+        assert!(v.set(64));
+        assert!(v.set(127));
+        assert!(!v.set(127), "setting twice reports already-set");
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(127));
+        assert!(!v.get(1));
+        assert_eq!(v.count(), 4);
+        assert!(v.clear(63));
+        assert!(!v.clear(63), "clearing twice reports already-clear");
+        assert_eq!(v.count(), 3);
+    }
+
+    #[test]
+    fn iter_ones_ascending_across_words() {
+        let mut v = DirtyVec::new(256);
+        for &b in &[200, 0, 64, 65, 199, 255] {
+            v.set(b);
+        }
+        assert_eq!(
+            v.iter_ones().collect::<Vec<_>>(),
+            vec![0, 64, 65, 199, 200, 255]
+        );
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut v = DirtyVec::new(16);
+        v.set(1);
+        v.set(15);
+        v.clear_all();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        DirtyVec::new(64).set(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_length_panics() {
+        let _ = DirtyVec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_panics() {
+        let _ = DirtyVec::new(MAX_BITS + 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let mut v = DirtyVec::new(8);
+        v.set(2);
+        let s = format!("{v:?}");
+        assert!(s.contains("DirtyVec"));
+        assert!(s.contains('2'));
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-dirty-block metadata storage (paper Section 7, "Metadata about
+//! Dirty Blocks").
+//!
+//! The DBI is "a compact, flexible framework that enables the cache to
+//! store information about dirty blocks" — the heterogeneous-ECC
+//! optimization is one instance (ECC kept only for DBI-tracked blocks);
+//! main-memory compression metadata is another. [`MetaDbi`] realizes the
+//! framework: it pairs a [`Dbi`] with a value of type `M` for every dirty
+//! block, with exactly the DBI's lifecycle — metadata appears when a block
+//! is marked dirty, travels with eviction writebacks, and disappears when
+//! the block is cleaned.
+
+use std::collections::HashMap;
+
+use crate::config::DbiConfig;
+use crate::dbi::Dbi;
+use crate::{BlockAddr, RowId};
+
+/// A [`Dbi`] that carries a metadata value per dirty block.
+///
+/// # Example
+///
+/// ```
+/// use dbi::{DbiConfig, MetaDbi};
+///
+/// # fn main() -> Result<(), dbi::DbiConfigError> {
+/// // Store an ECC syndrome (here, a u64) for each dirty block only —
+/// // clean blocks get by with cheap parity (paper Section 3.3).
+/// let mut dbi: MetaDbi<u64> = MetaDbi::new(DbiConfig::for_cache_blocks(4096)?);
+/// let outcome = dbi.mark_dirty(5, 0xECC0_0001);
+/// assert!(outcome.writebacks.is_empty());
+/// assert_eq!(dbi.metadata(5), Some(&0xECC0_0001));
+/// assert_eq!(dbi.clear_dirty(5), Some(0xECC0_0001));
+/// assert_eq!(dbi.metadata(5), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetaDbi<M> {
+    dbi: Dbi,
+    meta: HashMap<BlockAddr, M>,
+}
+
+/// Result of [`MetaDbi::mark_dirty`]: eviction writebacks paired with the
+/// metadata each block carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaMarkOutcome<M> {
+    /// Whether the block transitioned clean → dirty.
+    pub newly_dirty: bool,
+    /// The DRAM row evicted to make room, if any.
+    pub evicted_row: Option<RowId>,
+    /// Blocks forced to write back by the eviction, each with its
+    /// metadata, in ascending block order.
+    pub writebacks: Vec<(BlockAddr, M)>,
+}
+
+impl<M> MetaDbi<M> {
+    /// Creates an empty metadata-carrying DBI.
+    #[must_use]
+    pub fn new(config: DbiConfig) -> Self {
+        MetaDbi {
+            dbi: Dbi::new(config),
+            meta: HashMap::new(),
+        }
+    }
+
+    /// The underlying DBI (read-only; mutating it directly would desync
+    /// the metadata).
+    #[must_use]
+    pub fn dbi(&self) -> &Dbi {
+        &self.dbi
+    }
+
+    /// Marks `block` dirty carrying `metadata`. A re-mark replaces the
+    /// stored metadata (newest write wins, like the data itself).
+    pub fn mark_dirty(&mut self, block: BlockAddr, metadata: M) -> MetaMarkOutcome<M> {
+        let outcome = self.dbi.mark_dirty(block);
+        let writebacks: Vec<(BlockAddr, M)> = outcome
+            .evicted
+            .as_ref()
+            .map(|row| {
+                row.blocks()
+                    .iter()
+                    .map(|b| {
+                        let m = self.meta.remove(b).expect("dirty block has metadata");
+                        (*b, m)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.meta.insert(block, metadata);
+        MetaMarkOutcome {
+            newly_dirty: outcome.newly_dirty,
+            evicted_row: outcome.evicted.map(|e| e.row()),
+            writebacks,
+        }
+    }
+
+    /// Whether `block` is dirty.
+    #[must_use]
+    pub fn is_dirty(&self, block: BlockAddr) -> bool {
+        self.dbi.is_dirty(block)
+    }
+
+    /// The metadata of a dirty block (`None` if clean).
+    #[must_use]
+    pub fn metadata(&self, block: BlockAddr) -> Option<&M> {
+        self.meta.get(&block)
+    }
+
+    /// Clears `block`'s dirty bit, returning its metadata.
+    pub fn clear_dirty(&mut self, block: BlockAddr) -> Option<M> {
+        if self.dbi.clear_dirty(block) {
+            Some(self.meta.remove(&block).expect("dirty block has metadata"))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes everything, returning each dirty block with its metadata,
+    /// grouped by row in ascending order.
+    pub fn flush_all(&mut self) -> Vec<(BlockAddr, M)> {
+        let rows = self.dbi.flush_all();
+        rows.iter()
+            .flat_map(|r| r.blocks().iter().copied())
+            .map(|b| {
+                let m = self.meta.remove(&b).expect("dirty block has metadata");
+                (b, m)
+            })
+            .collect()
+    }
+
+    /// Number of dirty (metadata-carrying) blocks.
+    #[must_use]
+    pub fn dirty_count(&self) -> u64 {
+        self.dbi.dirty_count()
+    }
+
+    /// Checks the metadata↔dirty-bit synchronization invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dirty block lacks metadata or any metadata entry
+    /// refers to a clean block.
+    pub fn assert_invariants(&self) {
+        self.dbi.assert_invariants();
+        assert_eq!(
+            self.meta.len() as u64,
+            self.dbi.dirty_count(),
+            "metadata population out of sync"
+        );
+        for b in self.dbi.dirty_blocks() {
+            assert!(self.meta.contains_key(&b), "dirty block {b} lacks metadata");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Alpha;
+    use crate::replacement::DbiReplacementPolicy;
+
+    fn small() -> MetaDbi<u32> {
+        MetaDbi::new(
+            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap(),
+        )
+    }
+
+    #[test]
+    fn metadata_follows_dirty_lifecycle() {
+        let mut m = small();
+        assert_eq!(m.metadata(3), None);
+        let out = m.mark_dirty(3, 30);
+        assert!(out.newly_dirty);
+        assert_eq!(m.metadata(3), Some(&30));
+        // Re-mark replaces.
+        let out = m.mark_dirty(3, 31);
+        assert!(!out.newly_dirty);
+        assert_eq!(m.metadata(3), Some(&31));
+        assert_eq!(m.clear_dirty(3), Some(31));
+        assert_eq!(m.clear_dirty(3), None);
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn eviction_carries_metadata_out() {
+        let mut m = small();
+        // Rows 0, 4, 8 share set 0 (4 sets, 2 ways).
+        m.mark_dirty(0, 100);
+        m.mark_dirty(1, 101);
+        m.mark_dirty(4 * 8, 400);
+        let out = m.mark_dirty(8 * 8, 800);
+        assert_eq!(out.evicted_row, Some(0));
+        assert_eq!(out.writebacks, vec![(0, 100), (1, 101)]);
+        assert_eq!(m.metadata(0), None);
+        assert_eq!(m.metadata(8 * 8), Some(&800));
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn flush_returns_all_metadata() {
+        let mut m = small();
+        m.mark_dirty(3, 1);
+        m.mark_dirty(9, 2);
+        m.mark_dirty(50, 3);
+        let mut flushed = m.flush_all();
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![(3, 1), (9, 2), (50, 3)]);
+        assert_eq!(m.dirty_count(), 0);
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn stays_synchronized_under_churn() {
+        let mut m = small();
+        for i in 0..1000u64 {
+            let block = (i * 37) % 256;
+            m.mark_dirty(block, i as u32);
+            if i % 3 == 0 {
+                let _ = m.clear_dirty((i * 11) % 256);
+            }
+            m.assert_invariants();
+        }
+    }
+}

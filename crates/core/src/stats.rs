@@ -1,0 +1,96 @@
+//! Event counters maintained by the [`Dbi`](crate::Dbi).
+//!
+//! These are *structural* events — state changes of the index itself. Timing
+//! costs (latency, port occupancy, energy) are charged by the system
+//! simulator, which knows when and why it queried the DBI.
+
+/// Counters of DBI state-change events.
+///
+/// All counters start at zero; [`Dbi::take_stats`](crate::Dbi::take_stats)
+/// returns and resets them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DbiStats {
+    /// Calls to [`mark_dirty`](crate::Dbi::mark_dirty).
+    pub mark_requests: u64,
+    /// Marks that found the row already resident (entry write hit).
+    pub entry_hits: u64,
+    /// Marks that set a previously clear bit.
+    pub bits_set: u64,
+    /// New entries installed (row misses in the DBI).
+    pub entry_insertions: u64,
+    /// Entries evicted to make room for a new row.
+    pub entry_evictions: u64,
+    /// Dirty blocks written back *because of* DBI entry evictions
+    /// (the paper's "premature writebacks" when the row is written again).
+    pub eviction_writebacks: u64,
+    /// Calls to [`clear_dirty`](crate::Dbi::clear_dirty) that cleared a set
+    /// bit.
+    pub bits_cleared: u64,
+    /// Entries invalidated because their last dirty bit was cleared.
+    pub entry_invalidations: u64,
+}
+
+impl DbiStats {
+    /// Dirty blocks per eviction burst — the row-locality the Aggressive
+    /// Writeback optimization harvests. Returns `None` before any eviction.
+    #[must_use]
+    pub fn writebacks_per_eviction(&self) -> Option<f64> {
+        (self.entry_evictions > 0)
+            .then(|| self.eviction_writebacks as f64 / self.entry_evictions as f64)
+    }
+
+    /// Counter deltas since `baseline` (for measurement windows).
+    #[must_use]
+    pub fn since(&self, baseline: &DbiStats) -> DbiStats {
+        DbiStats {
+            mark_requests: self.mark_requests - baseline.mark_requests,
+            entry_hits: self.entry_hits - baseline.entry_hits,
+            bits_set: self.bits_set - baseline.bits_set,
+            entry_insertions: self.entry_insertions - baseline.entry_insertions,
+            entry_evictions: self.entry_evictions - baseline.entry_evictions,
+            eviction_writebacks: self.eviction_writebacks - baseline.eviction_writebacks,
+            bits_cleared: self.bits_cleared - baseline.bits_cleared,
+            entry_invalidations: self.entry_invalidations - baseline.entry_invalidations,
+        }
+    }
+}
+
+impl std::fmt::Display for DbiStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "marks={} hits={} set={} ins={} evict={} evict_wb={} cleared={} inval={}",
+            self.mark_requests,
+            self.entry_hits,
+            self.bits_set,
+            self.entry_insertions,
+            self.entry_evictions,
+            self.eviction_writebacks,
+            self.bits_cleared,
+            self.entry_invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writebacks_per_eviction_handles_zero() {
+        let s = DbiStats::default();
+        assert_eq!(s.writebacks_per_eviction(), None);
+        let s = DbiStats {
+            entry_evictions: 4,
+            eviction_writebacks: 10,
+            ..DbiStats::default()
+        };
+        assert_eq!(s.writebacks_per_eviction(), Some(2.5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!DbiStats::default().to_string().is_empty());
+    }
+}

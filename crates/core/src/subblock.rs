@@ -1,0 +1,192 @@
+//! Sub-block (sector) dirty tracking (paper Section 2.2, footnote 3).
+//!
+//! L1 caches receive word-granularity writes, and some caches use a larger
+//! block size than the level above — in both cases a block can be
+//! *partially* dirty. The paper notes the DBI "can be easily extended to
+//! caches with sub-block writes"; this module is that extension: the
+//! underlying [`Dbi`] tracks *sectors*, and this wrapper provides the
+//! block-level view (a block is dirty iff any of its sectors is).
+//!
+//! A partially dirty block's writeback only needs to transfer its dirty
+//! sectors, so eviction reports are per-sector.
+
+use crate::config::DbiConfig;
+use crate::dbi::Dbi;
+use crate::BlockAddr;
+
+/// A [`Dbi`] tracking dirtiness at sector granularity.
+///
+/// # Example
+///
+/// ```
+/// use dbi::{DbiConfig, SubBlockDbi};
+///
+/// # fn main() -> Result<(), dbi::DbiConfigError> {
+/// // 4 sectors (16 B) per 64 B block, for a 4096-block cache.
+/// let mut dbi = SubBlockDbi::new(DbiConfig::for_cache_blocks(4096 * 4)?, 4);
+/// dbi.mark_dirty_sector(10, 2);
+/// assert!(dbi.is_block_dirty(10));
+/// assert!(!dbi.is_sector_dirty(10, 0));
+/// assert_eq!(dbi.dirty_sectors(10).collect::<Vec<_>>(), vec![2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubBlockDbi {
+    dbi: Dbi,
+    sectors_per_block: u32,
+}
+
+impl SubBlockDbi {
+    /// Creates a sector-granularity DBI. `config` is expressed in
+    /// *sectors* (its `cache_blocks` is the cache's block count times
+    /// `sectors_per_block`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors_per_block` is zero or not a power of two.
+    #[must_use]
+    pub fn new(config: DbiConfig, sectors_per_block: u32) -> Self {
+        assert!(
+            sectors_per_block > 0 && sectors_per_block.is_power_of_two(),
+            "sectors per block must be a nonzero power of two"
+        );
+        SubBlockDbi {
+            dbi: Dbi::new(config),
+            sectors_per_block,
+        }
+    }
+
+    /// Sectors per cache block.
+    #[must_use]
+    pub fn sectors_per_block(&self) -> u32 {
+        self.sectors_per_block
+    }
+
+    /// The underlying sector-granularity DBI.
+    #[must_use]
+    pub fn inner(&self) -> &Dbi {
+        &self.dbi
+    }
+
+    fn sector_addr(&self, block: BlockAddr, sector: u32) -> u64 {
+        assert!(
+            sector < self.sectors_per_block,
+            "sector {sector} out of range (block has {})",
+            self.sectors_per_block
+        );
+        block * u64::from(self.sectors_per_block) + u64::from(sector)
+    }
+
+    /// Marks one sector of `block` dirty. Returns the sectors forced to
+    /// write back by a DBI eviction, as `(block, sector)` pairs.
+    pub fn mark_dirty_sector(&mut self, block: BlockAddr, sector: u32) -> Vec<(BlockAddr, u32)> {
+        let outcome = self.dbi.mark_dirty(self.sector_addr(block, sector));
+        let spb = u64::from(self.sectors_per_block);
+        outcome
+            .writebacks()
+            .iter()
+            .map(|&s| (s / spb, (s % spb) as u32))
+            .collect()
+    }
+
+    /// Whether any sector of `block` is dirty.
+    #[must_use]
+    pub fn is_block_dirty(&self, block: BlockAddr) -> bool {
+        (0..self.sectors_per_block).any(|s| self.dbi.is_dirty(self.sector_addr(block, s)))
+    }
+
+    /// Whether a specific sector is dirty.
+    #[must_use]
+    pub fn is_sector_dirty(&self, block: BlockAddr, sector: u32) -> bool {
+        self.dbi.is_dirty(self.sector_addr(block, sector))
+    }
+
+    /// Iterates over the dirty sectors of `block`, ascending.
+    pub fn dirty_sectors(&self, block: BlockAddr) -> impl Iterator<Item = u32> + '_ {
+        let spb = self.sectors_per_block;
+        (0..spb).filter(move |&s| self.is_sector_dirty(block, s))
+    }
+
+    /// Clears every dirty sector of `block` (the block was written back or
+    /// evicted). Returns how many sectors were dirty.
+    pub fn clear_block(&mut self, block: BlockAddr) -> u32 {
+        (0..self.sectors_per_block)
+            .filter(|&s| self.dbi.clear_dirty(self.sector_addr(block, s)))
+            .count() as u32
+    }
+
+    /// Total dirty sectors tracked.
+    #[must_use]
+    pub fn dirty_sector_count(&self) -> u64 {
+        self.dbi.dirty_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Alpha;
+    use crate::replacement::DbiReplacementPolicy;
+
+    fn small() -> SubBlockDbi {
+        // 64-block cache x 4 sectors = 256 sector addresses.
+        let config =
+            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
+        SubBlockDbi::new(config, 4)
+    }
+
+    #[test]
+    fn partial_dirtiness_is_tracked_per_sector() {
+        let mut d = small();
+        d.mark_dirty_sector(5, 1);
+        d.mark_dirty_sector(5, 3);
+        assert!(d.is_block_dirty(5));
+        assert!(!d.is_block_dirty(6));
+        assert!(d.is_sector_dirty(5, 1));
+        assert!(!d.is_sector_dirty(5, 0));
+        assert_eq!(d.dirty_sectors(5).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(d.dirty_sector_count(), 2);
+    }
+
+    #[test]
+    fn clear_block_clears_all_sectors() {
+        let mut d = small();
+        for s in 0..4 {
+            d.mark_dirty_sector(7, s);
+        }
+        assert_eq!(d.clear_block(7), 4);
+        assert!(!d.is_block_dirty(7));
+        assert_eq!(d.clear_block(7), 0);
+        d.inner().assert_invariants();
+    }
+
+    #[test]
+    fn evictions_report_block_and_sector() {
+        let mut d = small();
+        // Sector rows are 8 sectors = 2 blocks each; 4 DBI sets. Rows 0,
+        // 4, 8 collide in set 0 (2 ways).
+        d.mark_dirty_sector(0, 1); // sector addr 1, row 0
+        d.mark_dirty_sector(1, 2); // sector addr 6, row 0
+        d.mark_dirty_sector(8, 0); // sector addr 32, row 4
+        let evicted = d.mark_dirty_sector(16, 0); // row 8 -> evicts row 0
+        assert_eq!(evicted, vec![(0, 1), (1, 2)]);
+        assert!(!d.is_block_dirty(0));
+        assert!(!d.is_block_dirty(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sector_bounds_are_checked() {
+        let mut d = small();
+        d.mark_dirty_sector(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sectors_must_be_power_of_two() {
+        let config =
+            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
+        let _ = SubBlockDbi::new(config, 3);
+    }
+}

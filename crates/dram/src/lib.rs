@@ -1,0 +1,108 @@
+//! # dram-sim — a DDR3-like main-memory model
+//!
+//! The DRAM substrate of the DBI evaluation (paper Table 1): one channel,
+//! one rank, eight banks with 8 KB row buffers, an open-row policy, and a
+//! 64-entry write buffer drained in full when it fills ("drain when full",
+//! after Lee et al.). Within a drain, writes are serviced bank-round-robin
+//! from per-bank, row-sorted queues — the first-ready/row-hit-first order an
+//! FR-FCFS write scheduler converges to.
+//!
+//! Everything is expressed in **CPU cycles** (2.67 GHz against DDR3-1066, as
+//! in the paper), so the system simulator can use completion times directly.
+//!
+//! Why this matters for the DBI: writing back the dirty blocks of one DRAM
+//! row together turns a drain full of row misses (activate + precharge per
+//! write) into a drain of row hits (back-to-back bursts), shortening the
+//! time the channel is stolen from demand reads. The
+//! [`MemoryController`] exposes exactly the statistics the paper plots:
+//! read/write row-hit rates (Figures 6b/6e), writes per kilo-instruction
+//! (Figure 6d), and energy (Section 6.3).
+//!
+//! # Example
+//!
+//! ```
+//! use dram_sim::{DramConfig, MemoryController};
+//!
+//! let mut mem = MemoryController::new(DramConfig::ddr3_1066());
+//! let done = mem.read(0, 0);
+//! assert!(done > 0); // a row-miss read costs activate + CAS + burst
+//! mem.enqueue_write(1, done);
+//! assert_eq!(mem.stats().reads, 1);
+//! ```
+
+mod controller;
+mod energy;
+mod mapping;
+mod timing;
+mod write_buffer;
+
+pub use crate::controller::{DramStats, MemoryController};
+pub use crate::timing::{REFRESH_T_REFI, REFRESH_T_RFC};
+pub use crate::energy::{DramEnergy, EnergyModel};
+pub use crate::mapping::{AddressMapping, Location};
+pub use crate::timing::DramTiming;
+pub use crate::write_buffer::WriteBuffer;
+
+/// Index of a cache block in the physical address space, shared with the
+/// `dbi` and `cache-sim` crates.
+pub type BlockAddr = u64;
+
+/// CPU-cycle timestamps.
+pub type Cycle = u64;
+
+/// When the write buffer hands its contents to the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Drain the whole buffer once it fills (the paper's policy, after
+    /// Lee et al.): maximum batching, longest read-blocking episodes.
+    WhenFull,
+    /// Start draining at `high` pending writes, stop once `low` remain:
+    /// shorter episodes, less batching. An ablation point, not the
+    /// evaluated configuration.
+    Watermark {
+        /// Pending-write count that starts a drain.
+        high: usize,
+        /// Pending-write count at which the drain stops.
+        low: usize,
+    },
+}
+
+/// Full configuration of a [`MemoryController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Command and data timing, in CPU cycles.
+    pub timing: DramTiming,
+    /// Block address → bank/row/column mapping.
+    pub mapping: AddressMapping,
+    /// Write-buffer capacity in blocks per channel (paper: 64).
+    pub write_buffer_capacity: usize,
+    /// Number of independent channels (paper: 1). DRAM rows stripe across
+    /// channels; each channel has its own banks, data bus, and write
+    /// buffer. A bandwidth-sensitivity knob, not a paper configuration.
+    pub channels: u32,
+    /// Write-drain policy (paper: drain-when-full).
+    pub drain_policy: DrainPolicy,
+    /// Model periodic refresh: all banks unavailable for `t_rfc` every
+    /// `t_refi` cycles. Off by default (a uniform ~2% tax that does not
+    /// change any comparison; enable for absolute-latency studies).
+    pub refresh: bool,
+    /// Per-operation energy coefficients.
+    pub energy: EnergyModel,
+}
+
+impl DramConfig {
+    /// The paper's configuration: DDR3-1066, 1 channel, 1 rank, 8 banks,
+    /// 8 KB row buffers, 64-entry write buffer, drain-when-full.
+    #[must_use]
+    pub fn ddr3_1066() -> Self {
+        DramConfig {
+            timing: DramTiming::ddr3_1066(),
+            mapping: AddressMapping::new(8, 128), // 8 banks, 8 KB rows of 64 B blocks
+            write_buffer_capacity: 64,
+            channels: 1,
+            drain_policy: DrainPolicy::WhenFull,
+            refresh: false,
+            energy: EnergyModel::ddr3_1066(),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Physical address to DRAM coordinate mapping.
+
+use crate::BlockAddr;
+
+/// Where a block lives in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (block offset within the row).
+    pub col: u32,
+}
+
+/// Row-interleaved block → (bank, row, column) mapping, as in the paper's
+/// DRAM controller ("open row, row interleaving"): consecutive blocks fill a
+/// row, consecutive rows stripe across banks.
+///
+/// This is also the mapping the DBI itself assumes: the DBI's *row id*
+/// (`block / granularity`) identifies one DRAM row exactly when the DBI
+/// granularity equals `blocks_per_row` (the paper's default uses granularity
+/// 64 with 128-block rows, i.e. one entry per half-row).
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::AddressMapping;
+///
+/// let m = AddressMapping::new(8, 128);
+/// let loc = m.locate(128 * 8 + 5); // row 8 -> second trip around the banks
+/// assert_eq!((loc.bank, loc.row, loc.col), (0, 1, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    banks: u32,
+    blocks_per_row: u32,
+}
+
+impl AddressMapping {
+    /// Creates a mapping with `banks` banks and `blocks_per_row` blocks per
+    /// DRAM row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn new(banks: u32, blocks_per_row: u32) -> Self {
+        assert!(banks > 0 && blocks_per_row > 0, "mapping parameters must be nonzero");
+        AddressMapping {
+            banks,
+            blocks_per_row,
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Blocks per DRAM row.
+    #[must_use]
+    pub fn blocks_per_row(&self) -> u32 {
+        self.blocks_per_row
+    }
+
+    /// DRAM coordinates of `block`.
+    #[must_use]
+    pub fn locate(&self, block: BlockAddr) -> Location {
+        let global_row = block / u64::from(self.blocks_per_row);
+        Location {
+            bank: (global_row % u64::from(self.banks)) as u32,
+            row: global_row / u64::from(self.banks),
+            col: (block % u64::from(self.blocks_per_row)) as u32,
+        }
+    }
+
+    /// The global row id of `block` (bank and row combined) — blocks with
+    /// equal global rows are spatially co-located in one row buffer.
+    #[must_use]
+    pub fn global_row(&self, block: BlockAddr) -> u64 {
+        block / u64::from(self.blocks_per_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_located_blocks_share_bank_and_row() {
+        let m = AddressMapping::new(8, 128);
+        let a = m.locate(1000);
+        let b = m.locate(1001);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.col + 1, b.col);
+        assert_eq!(m.global_row(1000), m.global_row(1001));
+    }
+
+    #[test]
+    fn consecutive_rows_stripe_across_banks() {
+        let m = AddressMapping::new(8, 128);
+        for r in 0..16u64 {
+            let loc = m.locate(r * 128);
+            assert_eq!(u64::from(loc.bank), r % 8);
+            assert_eq!(loc.row, r / 8);
+            assert_eq!(loc.col, 0);
+        }
+    }
+
+    #[test]
+    fn global_row_changes_at_row_boundary() {
+        let m = AddressMapping::new(8, 128);
+        assert_eq!(m.global_row(127), 0);
+        assert_eq!(m.global_row(128), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_banks_panics() {
+        let _ = AddressMapping::new(0, 128);
+    }
+}

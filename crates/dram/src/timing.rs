@@ -1,0 +1,86 @@
+//! DRAM timing parameters, expressed in CPU cycles.
+
+/// Average refresh interval tREFI (7.8 µs at 2.67 GHz), in CPU cycles.
+pub const REFRESH_T_REFI: u64 = 20_800;
+
+/// Refresh cycle time tRFC (~160 ns for a 2 Gb DDR3 device), in CPU
+/// cycles — all banks are unavailable for this long per refresh.
+pub const REFRESH_T_RFC: u64 = 427;
+
+/// Command/data timings of the DRAM device, converted to CPU cycles.
+///
+/// The defaults model DDR3-1066 CL7 against the paper's 2.67 GHz core:
+/// the DRAM command clock is 533 MHz (1.876 ns), so one DRAM cycle is
+/// almost exactly 5 CPU cycles; CL = tRCD = tRP = 7 DRAM cycles ≈ 35 CPU
+/// cycles; a burst of 8 on the 8-byte bus moves a 64-byte block in 4 DRAM
+/// cycles ≈ 20 CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row activate (RAS-to-CAS) delay, tRCD.
+    pub t_rcd: u64,
+    /// Precharge delay, tRP.
+    pub t_rp: u64,
+    /// Column access (CAS) latency, tCL.
+    pub t_cl: u64,
+    /// Cycles the data bus is occupied by one block transfer (burst of 8).
+    pub t_burst: u64,
+    /// Write recovery, tWR — from end of a write burst until the bank may
+    /// precharge.
+    pub t_wr: u64,
+    /// Write-to-read turnaround on the channel, tWTR.
+    pub t_wtr: u64,
+    /// Minimum activate-to-activate spacing across banks, tRRD.
+    pub t_rrd: u64,
+    /// Four-activate window, tFAW: at most four activates per window.
+    pub t_faw: u64,
+}
+
+impl DramTiming {
+    /// DDR3-1066 CL7 timings in 2.67 GHz CPU cycles (paper Table 1).
+    #[must_use]
+    pub fn ddr3_1066() -> Self {
+        DramTiming {
+            t_rcd: 35,
+            t_rp: 35,
+            t_cl: 35,
+            t_burst: 20,
+            t_wr: 40,
+            t_wtr: 20,
+            t_rrd: 27,  // ~10 ns for 8 KB pages
+            t_faw: 133, // ~50 ns for 8 KB pages
+        }
+    }
+
+    /// Latency of a row-hit column access (CAS + burst).
+    #[must_use]
+    pub fn row_hit(&self) -> u64 {
+        self.t_cl + self.t_burst
+    }
+
+    /// Latency of a row-miss access (precharge + activate + CAS + burst).
+    #[must_use]
+    pub fn row_miss(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Latency of an access to a bank with no open row (activate + CAS +
+    /// burst; no precharge needed).
+    #[must_use]
+    pub fn row_closed(&self) -> u64 {
+        self.t_rcd + self.t_cl + self.t_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_derived_latencies_are_ordered() {
+        let t = DramTiming::ddr3_1066();
+        assert!(t.row_hit() < t.row_closed());
+        assert!(t.row_closed() < t.row_miss());
+        assert_eq!(t.row_hit(), 55);
+        assert_eq!(t.row_miss(), 125);
+    }
+}

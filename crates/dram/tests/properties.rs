@@ -1,0 +1,93 @@
+//! Property-based tests for the DRAM controller: conservation of writes,
+//! monotonic time, and row-hit accounting bounds under arbitrary traffic.
+
+use dram_sim::{DramConfig, MemoryController};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64),
+}
+
+fn traffic() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..100_000).prop_map(Op::Read),
+            (0u64..100_000).prop_map(Op::Write),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// Every distinct enqueued block is written exactly once per residence
+    /// in the buffer, and nothing is lost at flush.
+    #[test]
+    fn writes_are_conserved(ops in traffic()) {
+        let mut config = DramConfig::ddr3_1066();
+        config.write_buffer_capacity = 8;
+        let mut m = MemoryController::new(config);
+        let mut now = 0u64;
+        let mut enqueued = 0u64;
+        let mut coalesced_estimate = 0u64;
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Read(b) => {
+                    let done = m.read(b, now);
+                    prop_assert!(done > now, "reads take time");
+                    now = done;
+                }
+                Op::Write(b) => {
+                    enqueued += 1;
+                    if !live.insert(b) {
+                        coalesced_estimate += 1;
+                    }
+                    m.enqueue_write(b, now);
+                    if m.pending_writes() == 0 {
+                        live.clear(); // a drain just happened
+                    }
+                }
+            }
+        }
+        m.flush(now);
+        prop_assert_eq!(m.pending_writes(), 0);
+        prop_assert_eq!(m.stats().writes + coalesced_estimate, enqueued);
+    }
+
+    /// Row-hit counters never exceed their operation counters, and the
+    /// activate count covers every row miss.
+    #[test]
+    fn counter_bounds_hold(ops in traffic()) {
+        let mut m = MemoryController::new(DramConfig::ddr3_1066());
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Read(b) => now = m.read(b, now),
+                Op::Write(b) => m.enqueue_write(b, now),
+            }
+        }
+        m.flush(now);
+        let s = m.stats();
+        prop_assert!(s.read_row_hits <= s.reads);
+        prop_assert!(s.write_row_hits <= s.writes);
+        prop_assert_eq!(
+            s.activates,
+            (s.reads - s.read_row_hits) + (s.writes - s.write_row_hits)
+        );
+    }
+
+    /// Completion times are monotone for back-to-back reads issued at their
+    /// predecessors' completions (the channel never travels back in time).
+    #[test]
+    fn read_completions_are_monotone(blocks in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut m = MemoryController::new(DramConfig::ddr3_1066());
+        let mut now = 0u64;
+        for &b in &blocks {
+            let done = m.read(b, now);
+            prop_assert!(done > now);
+            now = done;
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! The shared last-level cache with mechanism-specific behaviour.
+//!
+//! All nine mechanisms of the paper's Table 2 are implemented here against
+//! the same substrates: a `cache-sim` tag/data store, an optional `dbi`, the
+//! TA-DIP dueling monitor, the Skip-Cache miss predictor, and the VWQ Set
+//! State Vector. A single tag-port next-free-cycle models the contention
+//! resource that distinguishes the mechanisms in multi-core runs (paper
+//! Section 6.2): every tag probe — demand, writeback, or sweep — occupies
+//! the port.
+
+use cache_sim::dueling::{BimodalCounter, DuelingSelector, PolicyChoice};
+use cache_sim::lastwrite::{RewriteFilter, RewriteFilterStats};
+use cache_sim::predictor::{MissPredictor, MissPredictorConfig};
+use cache_sim::ssv::SetStateVector;
+use cache_sim::{Cache, CacheConfig, InsertPos, ThreadId, Victim};
+use dbi::Dbi;
+use dram_sim::MemoryController;
+
+use crate::checker::VersionChecker;
+use crate::config::{Latencies, Mechanism, SystemConfig};
+
+/// Fraction of the LLC ways (from the LRU end) the VWQ harvests from, and
+/// that its Set State Vector summarizes (the paper's "LRU ways").
+const VWQ_LRU_FRACTION: usize = 4;
+
+/// Outcome of an LLC demand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Cycle the data is available to the requester.
+    pub completion: u64,
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Whether the tag lookup was bypassed (predicted miss, went straight
+    /// to memory).
+    pub bypassed: bool,
+}
+
+/// Event counters for the shared LLC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct LlcStats {
+    /// Tag-store probes of any kind (paper Figure 6c).
+    pub tag_lookups: u64,
+    /// Demand reads received.
+    pub demand_reads: u64,
+    /// Demand reads that hit.
+    pub demand_hits: u64,
+    /// Reads that bypassed the tag lookup.
+    pub bypasses: u64,
+    /// Writeback requests received from the level above.
+    pub writebacks_received: u64,
+    /// Proactive (sweep-generated) writebacks: AWB / DAWB / VWQ cleans.
+    pub sweep_writebacks: u64,
+    /// Writebacks forced by DBI entry evictions.
+    pub dbi_eviction_writebacks: u64,
+    /// DRAM writes issued, attributed per thread.
+    pub dram_writes_per_core: Vec<u64>,
+}
+
+impl LlcStats {
+    /// Total DRAM writes issued by the LLC.
+    #[must_use]
+    pub fn dram_writes(&self) -> u64 {
+        self.dram_writes_per_core.iter().sum()
+    }
+}
+
+/// The shared LLC.
+#[derive(Debug)]
+pub struct SharedLlc {
+    cache: Cache,
+    mechanism: Mechanism,
+    lat: Latencies,
+    dbi: Option<Dbi>,
+    dueling: Option<DuelingSelector>,
+    bimodal: BimodalCounter,
+    predictor: Option<MissPredictor>,
+    ssv: Option<SetStateVector>,
+    /// Extension: last-write filter gating AWB sweeps (Section 8 /
+    /// Wang et al.).
+    rewrite_filter: Option<RewriteFilter>,
+    /// Blocks per DRAM row: the sweep span of DAWB and VWQ.
+    dram_row_blocks: u64,
+    /// Next cycle the tag port is free of *demand* probes.
+    demand_port_free: u64,
+    /// Next cycle the tag port is free of all probes (demand + sweeps).
+    port_free: u64,
+    stats: LlcStats,
+}
+
+impl SharedLlc {
+    /// Builds the LLC (and its mechanism-specific side structures) for
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration implies degenerate cache or DBI
+    /// geometry — system configurations are validated programmer inputs.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        let cache_config = CacheConfig::new(
+            config.llc_bytes(),
+            config.llc_ways,
+            config.block_bytes,
+        )
+        .expect("valid LLC geometry")
+        .with_replacement(config.llc_replacement);
+        let cache = Cache::new(cache_config);
+        let sets = cache.config().sets();
+        let threads = config.cores;
+        let mechanism = config.mechanism;
+
+        let dbi = mechanism
+            .uses_dbi()
+            .then(|| Dbi::new(config.dbi.build(config.llc_blocks()).expect("valid DBI")));
+        let dueling = mechanism
+            .uses_tadip()
+            .then(|| DuelingSelector::new(sets, 32, threads, 10));
+        let wants_predictor = matches!(
+            mechanism,
+            Mechanism::SkipCache | Mechanism::Dbi { clb: true, .. }
+        );
+        let predictor = wants_predictor.then(|| {
+            MissPredictor::new(
+                MissPredictorConfig {
+                    threshold: config.predictor_threshold,
+                    epoch_cycles: config.predictor_epoch_cycles,
+                    sampled_sets: 32,
+                },
+                sets,
+                threads,
+            )
+        });
+        let ssv = matches!(mechanism, Mechanism::Vwq).then(|| {
+            SetStateVector::new(sets, (config.llc_ways / VWQ_LRU_FRACTION).max(1))
+        });
+        let rewrite_filter = (config.awb_rewrite_filter
+            && matches!(mechanism, Mechanism::Dbi { awb: true, .. }))
+        .then(|| RewriteFilter::new(4096, 256));
+        SharedLlc {
+            cache,
+            mechanism,
+            lat: config.latencies,
+            dbi,
+            dueling,
+            bimodal: BimodalCounter::default(),
+            predictor,
+            ssv,
+            rewrite_filter,
+            dram_row_blocks: u64::from(config.dram.mapping.blocks_per_row()),
+            demand_port_free: 0,
+            port_free: 0,
+            stats: LlcStats {
+                dram_writes_per_core: vec![0; threads],
+                ..LlcStats::default()
+            },
+        }
+    }
+
+    /// The mechanism this LLC implements.
+    #[must_use]
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The DBI, when the mechanism maintains one.
+    #[must_use]
+    pub fn dbi(&self) -> Option<&Dbi> {
+        self.dbi.as_ref()
+    }
+
+    /// The underlying cache state (inspection / tests).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Counters accumulated since construction.
+    #[must_use]
+    pub fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    /// Statistics of the AWB rewrite filter, when enabled.
+    #[must_use]
+    pub fn rewrite_filter_stats(&self) -> Option<&RewriteFilterStats> {
+        self.rewrite_filter.as_ref().map(RewriteFilter::stats)
+    }
+
+    /// Occupies the tag port for a demand probe. Demand probes are
+    /// prioritized over sweep probes (paper footnote 4): they serialize
+    /// only among themselves, plus at most one occupancy of delay from a
+    /// non-preemptible probe already in progress.
+    fn occupy_tag_port_demand(&mut self, now: u64) -> u64 {
+        let occ = self.lat.llc_tag_occupancy;
+        let mut start = now.max(self.demand_port_free);
+        if self.port_free > start {
+            // A background probe is in flight; wait out at most one.
+            start = self.port_free.min(start + occ);
+        }
+        self.demand_port_free = start + occ;
+        self.port_free = self.port_free.max(self.demand_port_free);
+        self.stats.tag_lookups += 1;
+        start
+    }
+
+    /// Occupies the tag port for a background (sweep / DBI-eviction) probe;
+    /// these serialize behind every other probe.
+    fn occupy_tag_port_background(&mut self, now: u64) -> u64 {
+        let start = now.max(self.port_free);
+        self.port_free = start + self.lat.llc_tag_occupancy;
+        self.stats.tag_lookups += 1;
+        start
+    }
+
+    fn write_dram(
+        &mut self,
+        block: u64,
+        thread: ThreadId,
+        now: u64,
+        dram: &mut MemoryController,
+        checker: Option<&mut VersionChecker>,
+    ) {
+        dram.enqueue_write(block, now);
+        if let Some(c) = checker {
+            c.record_dram_write(block);
+        }
+        let t = usize::from(thread).min(self.stats.dram_writes_per_core.len() - 1);
+        self.stats.dram_writes_per_core[t] += 1;
+    }
+
+    fn insert_pos(&mut self, block: u64, thread: ThreadId) -> InsertPos {
+        match &self.dueling {
+            None => InsertPos::Mru,
+            Some(d) => match d.choose(self.cache.set_of(block), thread) {
+                PolicyChoice::A => InsertPos::Mru,
+                PolicyChoice::B => self.bimodal.next_pos(),
+            },
+        }
+    }
+
+    fn ssv_refresh(&mut self, probe: u64) {
+        if let Some(ssv) = &mut self.ssv {
+            ssv.refresh(&self.cache, probe);
+        }
+    }
+
+    /// Services a demand read of `block` by `thread` arriving at `now`.
+    pub fn read(
+        &mut self,
+        block: u64,
+        thread: ThreadId,
+        now: u64,
+        dram: &mut MemoryController,
+        checker: Option<&mut VersionChecker>,
+    ) -> ReadOutcome {
+        self.stats.demand_reads += 1;
+        if let Some(p) = &mut self.predictor {
+            p.tick(now);
+        }
+        let set = self.cache.set_of(block);
+
+        // Cache Lookup Bypass (paper Section 3.2): predicted misses skip
+        // the tag lookup. Skip Cache can bypass unconditionally (its LLC is
+        // write-through, so never dirty); DBI+CLB must first ask the DBI.
+        let predicted_miss = self
+            .predictor
+            .as_ref()
+            .is_some_and(|p| p.should_bypass(thread, set));
+        if predicted_miss {
+            let bypass_ok = match self.mechanism {
+                Mechanism::SkipCache => true,
+                Mechanism::Dbi { .. } => {
+                    // One DBI probe; dirty blocks must be read from the cache.
+                    !self.dbi.as_ref().expect("DBI mechanism").is_dirty(block)
+                }
+                _ => false,
+            };
+            if bypass_ok {
+                self.stats.bypasses += 1;
+                let issue = now
+                    + if self.mechanism.uses_dbi() {
+                        self.lat.dbi
+                    } else {
+                        0
+                    };
+                let completion = dram.read(block, issue);
+                // Bypassed blocks are not allocated in the LLC.
+                return ReadOutcome {
+                    completion,
+                    hit: false,
+                    bypassed: true,
+                };
+            }
+        }
+
+        let start = self.occupy_tag_port_demand(now);
+        let hit = self.cache.touch(block);
+        if let Some(p) = &mut self.predictor {
+            if p.is_sampled(set) {
+                p.record_sampled_access(thread, hit);
+            }
+        }
+        if hit {
+            self.stats.demand_hits += 1;
+            return ReadOutcome {
+                completion: start + self.lat.llc_tag + self.lat.llc_data,
+                hit: true,
+                bypassed: false,
+            };
+        }
+        if let Some(d) = &mut self.dueling {
+            d.record_miss(set, thread);
+        }
+        let completion = dram.read(block, start + self.lat.llc_tag);
+        self.fill(block, thread, false, None, completion, dram, checker);
+        ReadOutcome {
+            completion,
+            hit: false,
+            bypassed: false,
+        }
+    }
+
+    /// Inserts `block` (a miss fill or a missing writeback allocation),
+    /// handling the displaced victim.
+    ///
+    /// Demand fills (`pos = None`) follow the mechanism's insertion policy
+    /// (TA-DIP for everything but Baseline); writeback allocations insert
+    /// at MRU so that the dirty blocks of a streamed row age out together —
+    /// scattering them through the LRU stack would destroy exactly the
+    /// row locality the writeback optimizations harvest.
+    #[allow(clippy::too_many_arguments)] // internal helper; the arguments are the fill
+    fn fill(
+        &mut self,
+        block: u64,
+        thread: ThreadId,
+        dirty_in_tag: bool,
+        pos: Option<InsertPos>,
+        now: u64,
+        dram: &mut MemoryController,
+        checker: Option<&mut VersionChecker>,
+    ) {
+        let pos = pos.unwrap_or_else(|| self.insert_pos(block, thread));
+        if let Some(victim) = self.cache.insert(block, thread, pos, dirty_in_tag) {
+            self.handle_eviction(victim, now, dram, checker);
+        }
+        self.ssv_refresh(block);
+    }
+
+    /// Applies the mechanism's dirty-eviction behaviour to a displaced
+    /// victim (paper Sections 3.1 and 2.2.3).
+    fn handle_eviction(
+        &mut self,
+        victim: Victim,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) {
+        match self.mechanism {
+            Mechanism::Baseline | Mechanism::TaDip => {
+                if victim.dirty {
+                    self.write_dram(victim.block, victim.thread, now, dram, checker);
+                }
+            }
+            Mechanism::Dawb => {
+                if victim.dirty {
+                    self.write_dram(
+                        victim.block,
+                        victim.thread,
+                        now,
+                        dram,
+                        checker.as_deref_mut(),
+                    );
+                    self.dawb_sweep(victim.block, now, dram, checker);
+                }
+            }
+            Mechanism::Vwq => {
+                if victim.dirty {
+                    self.write_dram(
+                        victim.block,
+                        victim.thread,
+                        now,
+                        dram,
+                        checker.as_deref_mut(),
+                    );
+                    self.vwq_sweep(victim.block, now, dram, checker);
+                }
+            }
+            Mechanism::SkipCache => {
+                debug_assert!(!victim.dirty, "write-through LLC holds no dirty blocks");
+            }
+            Mechanism::Dbi { awb, .. } => {
+                let dbi = self.dbi.as_mut().expect("DBI mechanism");
+                if dbi.clear_dirty(victim.block) {
+                    self.write_dram(
+                        victim.block,
+                        victim.thread,
+                        now,
+                        dram,
+                        checker.as_deref_mut(),
+                    );
+                    if awb {
+                        self.awb_sweep(victim.block, victim.thread, now, dram, checker);
+                    }
+                }
+            }
+        }
+    }
+
+    /// DAWB (paper Section 3.1): probe the tag store for *every* block of
+    /// the victim's DRAM row; write back and clean the dirty ones. The
+    /// indiscriminate probes are DAWB's cost — each occupies the tag port.
+    fn dawb_sweep(
+        &mut self,
+        evicted: u64,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) {
+        let base = (evicted / self.dram_row_blocks) * self.dram_row_blocks;
+        for b in base..base + self.dram_row_blocks {
+            if b == evicted {
+                continue;
+            }
+            let t = self.occupy_tag_port_background(now);
+            if self.cache.is_dirty(b) == Some(true) {
+                self.cache.set_dirty(b, false);
+                let owner = self.cache.owner(b).unwrap_or(0);
+                self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+                self.stats.sweep_writebacks += 1;
+            }
+        }
+    }
+
+    /// VWQ (paper Section 3.1): like DAWB, but consult the Set State
+    /// Vector first (free) and only harvest dirty blocks from the LRU ways
+    /// of marked sets.
+    fn vwq_sweep(
+        &mut self,
+        evicted: u64,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) {
+        let tracked = self.ssv.as_ref().expect("VWQ has an SSV").tracked_ways();
+        let base = (evicted / self.dram_row_blocks) * self.dram_row_blocks;
+        for b in base..base + self.dram_row_blocks {
+            if b == evicted {
+                continue;
+            }
+            let marked = self
+                .ssv
+                .as_ref()
+                .expect("VWQ has an SSV")
+                .is_marked(self.cache.set_of(b));
+            if !marked {
+                continue; // SSV check is free; no tag probe
+            }
+            let t = self.occupy_tag_port_background(now);
+            let in_lru_ways = self
+                .cache
+                .lru_rank(b)
+                .is_some_and(|r| r < tracked);
+            if in_lru_ways && self.cache.is_dirty(b) == Some(true) {
+                self.cache.set_dirty(b, false);
+                let owner = self.cache.owner(b).unwrap_or(0);
+                self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+                self.stats.sweep_writebacks += 1;
+                self.ssv_refresh(b);
+            }
+        }
+    }
+
+    /// AWB (paper Section 3.1): the DBI entry lists the co-row dirty
+    /// blocks directly, so the tag store is probed *only* for blocks that
+    /// are actually dirty.
+    fn awb_sweep(
+        &mut self,
+        evicted: u64,
+        thread: ThreadId,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) {
+        let dbi = self.dbi.as_ref().expect("DBI mechanism");
+        let row = dbi.row_of(evicted);
+        if let Some(filter) = &mut self.rewrite_filter {
+            if filter.should_sweep(row) {
+                filter.note_sweep(row);
+            } else {
+                // Predicted to be re-dirtied soon: sweeping would be a
+                // premature writeback. Only the demand-evicted block is
+                // written (already done by the caller).
+                filter.note_suppressed();
+                return;
+            }
+        }
+        let dbi = self.dbi.as_ref().expect("DBI mechanism");
+        let co_dirty: Vec<u64> = dbi.row_dirty_blocks(evicted).collect();
+        for b in co_dirty {
+            let t = self.occupy_tag_port_background(now);
+            debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
+            let owner = self.cache.owner(b).unwrap_or(thread);
+            self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+            self.dbi
+                .as_mut()
+                .expect("DBI mechanism")
+                .clear_dirty(b);
+            self.stats.sweep_writebacks += 1;
+        }
+    }
+
+    /// Receives a writeback of `block` from the level above (paper Section
+    /// 2.2.2).
+    pub fn writeback(
+        &mut self,
+        block: u64,
+        thread: ThreadId,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) {
+        self.stats.writebacks_received += 1;
+        let start = self.occupy_tag_port_demand(now);
+        match self.mechanism {
+            Mechanism::SkipCache => {
+                // Write-through, no-allocate: update in place if present,
+                // and always push the data to memory.
+                let _present = self.cache.touch(block);
+                self.write_dram(block, thread, start, dram, checker);
+            }
+            Mechanism::Dbi { .. } => {
+                if let Some(filter) = &mut self.rewrite_filter {
+                    let row = self.dbi.as_ref().expect("DBI mechanism").row_of(block);
+                    filter.note_write(row);
+                }
+                if !self.cache.touch(block) {
+                    // Insert the block (clean in the tag store — the dirty
+                    // bit lives in the DBI).
+                    self.fill(
+                        block,
+                        thread,
+                        false,
+                        Some(InsertPos::Mru),
+                        start,
+                        dram,
+                        checker.as_deref_mut(),
+                    );
+                }
+                let outcome = self
+                    .dbi
+                    .as_mut()
+                    .expect("DBI mechanism")
+                    .mark_dirty(block);
+                if let Some(evicted) = outcome.evicted {
+                    // DBI eviction: write back everything the entry marked;
+                    // the blocks stay resident and become clean
+                    // (paper Section 2.2.4).
+                    for &b in evicted.blocks() {
+                        let t = self.occupy_tag_port_background(now);
+                        debug_assert!(
+                            self.cache.probe(b),
+                            "DBI-dirty blocks are resident"
+                        );
+                        let owner = self.cache.owner(b).unwrap_or(thread);
+                        self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+                        self.stats.dbi_eviction_writebacks += 1;
+                    }
+                }
+            }
+            _ => {
+                if self.cache.touch(block) {
+                    self.cache.set_dirty(block, true);
+                } else {
+                    self.fill(block, thread, true, Some(InsertPos::Mru), start, dram, checker);
+                }
+            }
+        }
+        self.ssv_refresh(block);
+    }
+
+    /// Writes back every dirty block and clears all dirty state; used at
+    /// the end of checked runs. Returns the number of blocks written.
+    pub fn flush_dirty(
+        &mut self,
+        now: u64,
+        dram: &mut MemoryController,
+        mut checker: Option<&mut VersionChecker>,
+    ) -> u64 {
+        let mut written = 0;
+        if let Some(dbi) = &mut self.dbi {
+            for row in dbi.flush_all() {
+                for &b in row.blocks() {
+                    dram.enqueue_write(b, now);
+                    if let Some(c) = checker.as_deref_mut() {
+                        c.record_dram_write(b);
+                    }
+                    written += 1;
+                }
+            }
+        } else {
+            let dirty: Vec<u64> = self
+                .cache
+                .blocks()
+                .filter(|&(_, d, _)| d)
+                .map(|(b, _, _)| b)
+                .collect();
+            for b in dirty {
+                self.cache.set_dirty(b, false);
+                dram.enqueue_write(b, now);
+                if let Some(c) = checker.as_deref_mut() {
+                    c.record_dram_write(b);
+                }
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Asserts the cross-structure invariant of DBI mechanisms: every
+    /// block the DBI marks dirty is resident in the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation; no-op for non-DBI mechanisms.
+    pub fn assert_dbi_residency(&self) {
+        if let Some(dbi) = &self.dbi {
+            dbi.assert_invariants();
+            for b in dbi.dirty_blocks() {
+                assert!(
+                    self.cache.probe(b),
+                    "DBI marks block {b} dirty but it is not resident"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use dram_sim::DramConfig;
+
+    fn tiny_config(mechanism: Mechanism) -> SystemConfig {
+        let mut c = SystemConfig::for_cores(1, mechanism);
+        c.llc_bytes_per_core = 64 * 1024; // 1024 blocks, 64 sets x 16 ways
+        c.llc_ways = 16;
+        c
+    }
+
+    fn setup(mechanism: Mechanism) -> (SharedLlc, MemoryController) {
+        let config = tiny_config(mechanism);
+        (SharedLlc::new(&config), MemoryController::new(DramConfig::ddr3_1066()))
+    }
+
+    #[test]
+    fn read_miss_fills_and_hits_after() {
+        let (mut llc, mut dram) = setup(Mechanism::Baseline);
+        let miss = llc.read(5, 0, 100, &mut dram, None);
+        assert!(!miss.hit && !miss.bypassed);
+        let hit = llc.read(5, 0, miss.completion, &mut dram, None);
+        assert!(hit.hit);
+        assert!(hit.completion < miss.completion + 100, "hits are fast");
+        assert_eq!(llc.stats().demand_reads, 2);
+        assert_eq!(llc.stats().demand_hits, 1);
+        assert_eq!(llc.stats().tag_lookups, 2);
+    }
+
+    #[test]
+    fn baseline_writeback_sets_tag_dirty_and_evicts_to_dram() {
+        let (mut llc, mut dram) = setup(Mechanism::Baseline);
+        llc.writeback(7, 0, 0, &mut dram, None);
+        assert_eq!(llc.cache().is_dirty(7), Some(true));
+        // Fill the set (64 sets): blocks 7 + 64k for k=1..16 map to set 7.
+        for k in 1..=16u64 {
+            llc.writeback(7 + 64 * k, 0, 0, &mut dram, None);
+        }
+        // Block 7 was LRU among the writebacks; it must have gone to DRAM.
+        assert!(llc.stats().dram_writes() >= 1);
+        assert!(!llc.cache().probe(7), "evicted");
+    }
+
+    #[test]
+    fn dbi_writeback_keeps_tag_clean() {
+        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: false, clb: false });
+        llc.writeback(7, 0, 0, &mut dram, None);
+        assert_eq!(llc.cache().is_dirty(7), Some(false), "dirty bit lives in the DBI");
+        assert!(llc.dbi().expect("dbi").is_dirty(7));
+        llc.assert_dbi_residency();
+    }
+
+    #[test]
+    fn dbi_eviction_writebacks_leave_blocks_resident_and_clean() {
+        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: false, clb: false });
+        // DBI here: 256 tracked / 64 granularity = 4 entries in a single
+        // 4-way set. Marking a 5th row evicts the LRW one (row 0).
+        let g = llc.dbi().expect("dbi").config().granularity() as u64;
+        llc.writeback(0, 0, 0, &mut dram, None);
+        llc.writeback(1, 0, 0, &mut dram, None);
+        for row in 1..=4u64 {
+            llc.writeback(row * g, 0, 0, &mut dram, None);
+        }
+        // Row 0's blocks were written back by the DBI eviction...
+        assert_eq!(llc.stats().dbi_eviction_writebacks, 2);
+        // ...but stay resident in the cache, now clean.
+        assert!(llc.cache().probe(0) && llc.cache().probe(1));
+        assert!(!llc.dbi().expect("dbi").is_dirty(0));
+        llc.assert_dbi_residency();
+    }
+
+    #[test]
+    fn awb_sweeps_only_dirty_co_row_blocks() {
+        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: true, clb: false });
+        // Make blocks 0 and 1 dirty (row 0).
+        llc.writeback(0, 0, 0, &mut dram, None);
+        llc.writeback(1, 0, 0, &mut dram, None);
+        let before = llc.stats().tag_lookups;
+        // Evict block 0 from the cache by filling its set with reads
+        // (set 0: blocks 0, 64, 128, ...).
+        for k in 1..=16u64 {
+            let _ = llc.read(64 * k, 0, 1000 * k, &mut dram, None);
+        }
+        // The dirty eviction of block 0 swept block 1 (1 probe), not the
+        // other 62 blocks of the row.
+        assert_eq!(llc.stats().sweep_writebacks, 1);
+        assert!(!llc.dbi().expect("dbi").is_dirty(1));
+        let probes = llc.stats().tag_lookups - before;
+        assert!(probes < 30, "AWB must not probe whole rows ({probes} probes)");
+        llc.assert_dbi_residency();
+    }
+
+    #[test]
+    fn dawb_probes_the_whole_row() {
+        let (mut llc, mut dram) = setup(Mechanism::Dawb);
+        llc.writeback(0, 0, 0, &mut dram, None);
+        llc.writeback(1, 0, 0, &mut dram, None);
+        let before = llc.stats().tag_lookups;
+        for k in 1..=16u64 {
+            let _ = llc.read(64 * k, 0, 1000 * k, &mut dram, None);
+        }
+        let probes = llc.stats().tag_lookups - before;
+        // 16 demand lookups + a 127-probe sweep on the dirty eviction.
+        assert!(probes > 120, "DAWB sweeps whole DRAM rows ({probes} probes)");
+        assert_eq!(llc.stats().sweep_writebacks, 1, "but only one block was dirty");
+    }
+
+    #[test]
+    fn skip_cache_forwards_every_writeback() {
+        let (mut llc, mut dram) = setup(Mechanism::SkipCache);
+        for b in 0..10u64 {
+            llc.writeback(b, 0, 0, &mut dram, None);
+        }
+        assert_eq!(llc.stats().dram_writes(), 10);
+        // Nothing in the cache is dirty.
+        assert!(llc.cache().blocks().all(|(_, dirty, _)| !dirty));
+    }
+
+    #[test]
+    fn flush_dirty_cleans_everything() {
+        for mechanism in [
+            Mechanism::Baseline,
+            Mechanism::Dbi { awb: false, clb: false },
+        ] {
+            let (mut llc, mut dram) = setup(mechanism);
+            for b in 0..20u64 {
+                llc.writeback(b, 0, 0, &mut dram, None);
+            }
+            let written = llc.flush_dirty(0, &mut dram, None);
+            assert_eq!(written, 20, "{mechanism}");
+            assert_eq!(llc.flush_dirty(0, &mut dram, None), 0, "{mechanism}: idempotent");
+        }
+    }
+
+    #[test]
+    fn demand_reads_jump_ahead_of_sweep_probes() {
+        // Demand probes wait at most one occupancy for background probes
+        // (paper footnote 4), so a read issued while a DAWB sweep's 127
+        // probes still occupy the port is barely delayed.
+        let (mut llc, mut dram) = setup(Mechanism::Dawb);
+        llc.writeback(0, 0, 0, &mut dram, None);
+        // Reads at times 1..16 trigger the dirty eviction of block 0 and
+        // its whole-row sweep; the sweep's probes chain the background
+        // port far past the eviction time.
+        let mut last = 0;
+        for k in 1..=16u64 {
+            last = llc.read(64 * k, 0, k, &mut dram, None).completion;
+        }
+        let t0 = last + 50;
+        let r = llc.read(3, 0, t0, &mut dram, None);
+        assert!(!r.hit);
+        // Without priority the read would wait out the remaining sweep
+        // probes (~127 x 4 cycles); with priority it pays at most one
+        // occupancy plus its own DRAM access.
+        assert!(
+            r.completion < t0 + 300,
+            "demand read delayed from {t0} to {}",
+            r.completion
+        );
+    }
+}

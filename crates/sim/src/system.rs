@@ -1,0 +1,272 @@
+//! The assembled system: cores + shared LLC + DRAM, and the run loop.
+
+use cache_sim::lastwrite::RewriteFilterStats;
+use dbi::DbiStats;
+use dram_sim::{DramEnergy, DramStats, MemoryController};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::{Benchmark, TraceGenerator};
+
+use crate::checker::{LostWrite, VersionChecker};
+use crate::config::SystemConfig;
+use crate::core::CoreEngine;
+use crate::llc::{LlcStats, SharedLlc};
+use crate::metrics::CoreResult;
+
+/// Alignment of per-core address regions, in blocks (1 MB of 64 B blocks —
+/// a whole number of DRAM row groups, so cores never share a row).
+const CORE_REGION_ALIGN: u64 = 1 << 14;
+
+/// Measurement snapshot of one core: (instructions, cycles, LLC reads,
+/// LLC read misses, attributed DRAM writes).
+type CoreSnapshot = (u64, u64, u64, u64, u64);
+
+/// Result of one simulation's measurement window.
+#[derive(Debug, Clone)]
+pub struct MixResult {
+    /// Per-core outcomes, in mix order.
+    pub cores: Vec<CoreResult>,
+    /// LLC counters over the measurement window.
+    pub llc: LlcStats,
+    /// DRAM counters over the measurement window.
+    pub dram: DramStats,
+    /// DRAM energy over the measurement window.
+    pub energy: DramEnergy,
+    /// DBI counters over the measurement window (DBI mechanisms only).
+    pub dbi: Option<DbiStats>,
+    /// AWB rewrite-filter statistics (whole run; extension feature).
+    pub rewrite_filter: Option<RewriteFilterStats>,
+    /// Outcome of the shadow-memory check, when enabled.
+    pub check: Option<Result<(), Vec<LostWrite>>>,
+}
+
+impl MixResult {
+    /// Total instructions measured across cores.
+    #[must_use]
+    pub fn total_insts(&self) -> u64 {
+        self.cores.iter().map(|c| c.insts).sum()
+    }
+
+    /// Per-core IPCs in mix order.
+    #[must_use]
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(CoreResult::ipc).collect()
+    }
+
+    /// LLC tag lookups per kilo-instruction (paper Figure 6c).
+    #[must_use]
+    pub fn tag_lookups_pki(&self) -> f64 {
+        crate::metrics::per_kilo(self.llc.tag_lookups, self.total_insts())
+    }
+
+    /// DRAM writes per kilo-instruction (paper Figure 6d).
+    #[must_use]
+    pub fn wpki(&self) -> f64 {
+        crate::metrics::per_kilo(self.dram.writes, self.total_insts())
+    }
+}
+
+fn diff_llc(end: &LlcStats, start: &LlcStats) -> LlcStats {
+    LlcStats {
+        tag_lookups: end.tag_lookups - start.tag_lookups,
+        demand_reads: end.demand_reads - start.demand_reads,
+        demand_hits: end.demand_hits - start.demand_hits,
+        bypasses: end.bypasses - start.bypasses,
+        writebacks_received: end.writebacks_received - start.writebacks_received,
+        sweep_writebacks: end.sweep_writebacks - start.sweep_writebacks,
+        dbi_eviction_writebacks: end.dbi_eviction_writebacks - start.dbi_eviction_writebacks,
+        dram_writes_per_core: end
+            .dram_writes_per_core
+            .iter()
+            .zip(&start.dram_writes_per_core)
+            .map(|(e, s)| e - s)
+            .collect(),
+    }
+}
+
+/// The assembled simulation.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<CoreEngine>,
+    llc: SharedLlc,
+    dram: MemoryController,
+    checker: Option<VersionChecker>,
+}
+
+impl System {
+    /// Builds a system running `mix` (one benchmark per active core).
+    ///
+    /// `mix.cores()` may be smaller than `config.cores` — the geometry
+    /// (LLC size, latencies) stays that of the configured system, which is
+    /// how "alone" baselines for weighted speedup are measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has more benchmarks than configured cores.
+    #[must_use]
+    pub fn new(mix: &WorkloadMix, config: &SystemConfig) -> Self {
+        assert!(
+            mix.cores() <= config.cores,
+            "mix has {} benchmarks but the system has {} cores",
+            mix.cores(),
+            config.cores
+        );
+        let mut cores = Vec::with_capacity(mix.cores());
+        let mut offset = 0u64;
+        for (i, &bench) in mix.benchmarks().iter().enumerate() {
+            let seed = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let generator = TraceGenerator::from_benchmark(bench, seed);
+            let space = generator.address_space_blocks();
+            cores.push(CoreEngine::new(
+                i as u8,
+                bench.label().to_string(),
+                generator,
+                offset,
+                config,
+            ));
+            offset += space.div_ceil(CORE_REGION_ALIGN) * CORE_REGION_ALIGN;
+        }
+        System {
+            config: config.clone(),
+            cores,
+            llc: SharedLlc::new(config),
+            dram: MemoryController::new(config.dram.clone()),
+            checker: config.check.then(VersionChecker::new),
+        }
+    }
+
+    fn step_core(&mut self, i: usize) {
+        self.cores[i].step(&mut self.llc, &mut self.dram, self.checker.as_mut());
+    }
+
+    fn argmin_cycle(&self) -> usize {
+        self.cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.cycle)
+            .map(|(i, _)| i)
+            .expect("at least one core")
+    }
+
+    /// Runs warmup + measurement and returns the measured results.
+    ///
+    /// Cores that finish their measurement quota keep running (and keep
+    /// generating interference) until every core has finished, following
+    /// the standard multi-programmed methodology.
+    #[must_use]
+    pub fn run(mut self) -> MixResult {
+        let warm = self.config.warmup_insts;
+        let measure = self.config.measure_insts;
+        assert!(measure > 0, "measurement window must be nonempty");
+
+        // Phase 1: warm until every core has retired `warm` instructions.
+        while self.cores.iter().any(|c| c.insts < warm) {
+            let i = self.argmin_cycle();
+            self.step_core(i);
+        }
+
+        // Snapshot measurement baselines.
+        let n = self.cores.len();
+        let base: Vec<CoreSnapshot> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    c.insts,
+                    c.cycle,
+                    c.llc_reads,
+                    c.llc_read_misses,
+                    self.llc.stats().dram_writes_per_core[i],
+                )
+            })
+            .collect();
+        let llc_base = self.llc.stats().clone();
+        let dram_base = *self.dram.stats();
+        let energy_base = *self.dram.energy();
+        let dbi_base = self.llc.dbi().map(|d| *d.stats());
+
+        // Phase 2: measure until every core retires `measure` more.
+        let mut end: Vec<Option<CoreSnapshot>> = vec![None; n];
+        let mut done = 0usize;
+        while done < n {
+            let i = self.argmin_cycle();
+            self.step_core(i);
+            let c = &self.cores[i];
+            if end[i].is_none() && c.insts >= base[i].0 + measure {
+                end[i] = Some((
+                    c.insts,
+                    c.cycle,
+                    c.llc_reads,
+                    c.llc_read_misses,
+                    self.llc.stats().dram_writes_per_core[i],
+                ));
+                done += 1;
+            }
+        }
+
+        let cores: Vec<CoreResult> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let e = end[i].expect("all cores finished");
+                let b = base[i];
+                CoreResult {
+                    benchmark: c.benchmark.clone(),
+                    insts: e.0 - b.0,
+                    cycles: e.1 - b.1,
+                    llc_reads: e.2 - b.2,
+                    llc_read_misses: e.3 - b.3,
+                    dram_writes: e.4 - b.4,
+                }
+            })
+            .collect();
+        let llc = diff_llc(self.llc.stats(), &llc_base);
+        let dram = self.dram.stats().since(&dram_base);
+        let energy = self.dram.energy().since(&energy_base);
+        let dbi = self
+            .llc
+            .dbi()
+            .map(|d| d.stats().since(dbi_base.as_ref().expect("dbi baseline")));
+
+        let rewrite_filter = self.llc.rewrite_filter_stats().copied();
+        let check = self.checker.is_some().then(|| self.flush_and_verify());
+
+        MixResult {
+            cores,
+            llc,
+            dram,
+            energy,
+            dbi,
+            rewrite_filter,
+            check,
+        }
+    }
+
+    /// Flushes the whole hierarchy and verifies the shadow memory.
+    fn flush_and_verify(&mut self) -> Result<(), Vec<LostWrite>> {
+        self.llc.assert_dbi_residency();
+        let now = self.cores.iter().map(|c| c.cycle).max().unwrap_or(0);
+        for i in 0..self.cores.len() {
+            self.cores[i].flush_private(&mut self.llc, &mut self.dram, self.checker.as_mut());
+        }
+        self.llc
+            .flush_dirty(now, &mut self.dram, self.checker.as_mut());
+        self.dram.flush(now);
+        self.checker.as_ref().expect("checker enabled").verify()
+    }
+}
+
+/// Runs a multi-programmed mix to completion.
+#[must_use]
+pub fn run_mix(mix: &WorkloadMix, config: &SystemConfig) -> MixResult {
+    System::new(mix, config).run()
+}
+
+/// Runs one benchmark alone on the configured system (the "alone" baseline
+/// of the multi-core speedup metrics).
+#[must_use]
+pub fn run_alone(benchmark: Benchmark, config: &SystemConfig) -> MixResult {
+    run_mix(&WorkloadMix::new(vec![benchmark]), config)
+}

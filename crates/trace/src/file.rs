@@ -1,0 +1,242 @@
+//! Trace capture and replay.
+//!
+//! The paper drives its simulator from Pinpoints trace files. This module
+//! provides the equivalent plumbing for our synthetic traces: a compact
+//! binary format (16 bytes per record) so workloads can be captured once
+//! and replayed — for cross-tool comparisons, regression pinning, or
+//! feeding externally captured traces into the simulator.
+//!
+//! Format: a 16-byte header (`magic "DBITRACE"`, version, record count),
+//! then fixed 16-byte little-endian records: `gap: u32`, `flags: u32`
+//! (bit 0 = write, bit 1 = dependent), `addr: u64`.
+
+use std::io::{self, Read, Write};
+
+use crate::{MemOp, TraceRecord};
+
+const MAGIC: &[u8; 8] = b"DBITRACE";
+const VERSION: u32 = 1;
+
+const FLAG_WRITE: u32 = 1;
+const FLAG_DEPENDENT: u32 = 2;
+
+/// Writes `records` in the trace file format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`. A `&mut Vec<u8>` or `&mut File`
+/// both work (any [`Write`] by value or mutable reference).
+pub fn write_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(records.len() as u32).to_le_bytes())?;
+    for r in records {
+        let mut flags = 0u32;
+        if r.op == MemOp::Write {
+            flags |= FLAG_WRITE;
+        }
+        if r.dependent {
+            flags |= FLAG_DEPENDENT;
+        }
+        writer.write_all(&r.gap.to_le_bytes())?;
+        writer.write_all(&flags.to_le_bytes())?;
+        writer.write_all(&r.addr.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a bad magic, version, or a
+/// record claiming a dependent write; propagates underlying I/O errors.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<TraceRecord>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a DBITRACE file",
+        ));
+    }
+    let mut word = [0u8; 4];
+    reader.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    reader.read_exact(&mut word)?;
+    let count = u32::from_le_bytes(word) as usize;
+
+    let mut records = Vec::with_capacity(count);
+    let mut rec = [0u8; 16];
+    for _ in 0..count {
+        reader.read_exact(&mut rec)?;
+        let gap = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+        let flags = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+        let addr = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+        let op = if flags & FLAG_WRITE != 0 {
+            MemOp::Write
+        } else {
+            MemOp::Read
+        };
+        let dependent = flags & FLAG_DEPENDENT != 0;
+        if dependent && op == MemOp::Write {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace record marks a write as dependent",
+            ));
+        }
+        records.push(TraceRecord {
+            gap,
+            op,
+            addr,
+            dependent,
+        });
+    }
+    Ok(records)
+}
+
+/// A replay source yielding records from a captured trace, cycling back to
+/// the start when exhausted (simulations run longer than any finite
+/// trace).
+///
+/// # Example
+///
+/// ```
+/// use trace_gen::file::{write_trace, read_trace, TraceReplay};
+/// use trace_gen::{Benchmark, TraceGenerator};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut generator = TraceGenerator::from_benchmark(Benchmark::Lbm, 1);
+/// let records: Vec<_> = (0..100).map(|_| generator.next_record()).collect();
+///
+/// let mut buffer = Vec::new();
+/// write_trace(&mut buffer, &records)?;
+/// let mut replay = TraceReplay::new(read_trace(buffer.as_slice())?);
+/// assert_eq!(replay.next_record(), records[0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    records: Vec<TraceRecord>,
+    position: usize,
+    /// Number of times the trace wrapped around.
+    pub wraps: u64,
+}
+
+impl TraceReplay {
+    /// Creates a replay source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty (nothing to replay).
+    #[must_use]
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "cannot replay an empty trace");
+        TraceReplay {
+            records,
+            position: 0,
+            wraps: 0,
+        }
+    }
+
+    /// Number of records in one pass of the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always `false` (construction rejects empty traces); provided for
+    /// API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Yields the next record, wrapping at the end.
+    pub fn next_record(&mut self) -> TraceRecord {
+        let r = self.records[self.position];
+        self.position += 1;
+        if self.position == self.records.len() {
+            self.position = 0;
+            self.wraps += 1;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceGenerator};
+
+    fn sample(n: usize) -> Vec<TraceRecord> {
+        let mut g = TraceGenerator::from_benchmark(Benchmark::Soplex, 3);
+        (0..n).map(|_| g.next_record()).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = sample(500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        assert_eq!(buf.len(), 16 + 16 * records.len());
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTATRCE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        buf[8] = 99; // corrupt the version
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample(10)).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let records = sample(5);
+        let mut replay = TraceReplay::new(records.clone());
+        for _ in 0..12 {
+            let _ = replay.next_record();
+        }
+        assert_eq!(replay.wraps, 2);
+        assert_eq!(replay.next_record(), records[2]);
+        assert_eq!(replay.len(), 5);
+        assert!(!replay.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_panics() {
+        let _ = TraceReplay::new(vec![]);
+    }
+}

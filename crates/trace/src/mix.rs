@@ -1,0 +1,194 @@
+//! Multi-programmed workload construction.
+//!
+//! The paper classifies benchmarks into nine categories by read intensity ×
+//! write intensity and builds multi-programmed workloads spanning the grid
+//! (102 two-core, 259 four-core, and 120 eight-core mixes). This module
+//! reproduces that methodology with seeded sampling: each mix slot first
+//! draws an intensity category, then a benchmark within it, so every
+//! category contributes to the workload population.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::{Benchmark, Intensity};
+
+/// A multi-programmed workload: one benchmark per core.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadMix {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix from an explicit benchmark list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty.
+    #[must_use]
+    pub fn new(benchmarks: Vec<Benchmark>) -> Self {
+        assert!(!benchmarks.is_empty(), "a workload needs at least one core");
+        WorkloadMix { benchmarks }
+    }
+
+    /// The per-core benchmarks.
+    #[must_use]
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// A `+`-joined label, e.g. `"GemsFDTD+libquantum"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.benchmarks
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Aggregate write pressure of the mix (how much interference the
+    /// workload generates), for reporting.
+    #[must_use]
+    pub fn write_pressure(&self) -> f64 {
+        self.benchmarks.iter().map(|b| b.write_pressure()).sum()
+    }
+}
+
+impl std::fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The benchmarks in each populated cell of the read × write intensity
+/// grid.
+#[must_use]
+pub fn intensity_grid() -> Vec<((Intensity, Intensity), Vec<Benchmark>)> {
+    let mut grid: Vec<((Intensity, Intensity), Vec<Benchmark>)> = Vec::new();
+    for b in Benchmark::ALL {
+        let key = (b.read_class(), b.write_class());
+        match grid.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(b),
+            None => grid.push((key, vec![b])),
+        }
+    }
+    grid.sort_by_key(|(k, _)| *k);
+    grid
+}
+
+/// Generates `count` distinct mixes of `cores` benchmarks, spanning the
+/// intensity grid, deterministically from `seed`.
+///
+/// Matches the paper's methodology (category-first sampling); the paper's
+/// own counts are 102 / 259 / 120 mixes for 2 / 4 / 8 cores.
+///
+/// # Panics
+///
+/// Panics if `cores` or `count` is zero.
+#[must_use]
+pub fn generate_mixes(cores: usize, count: usize, seed: u64) -> Vec<WorkloadMix> {
+    assert!(cores > 0 && count > 0, "cores and count must be nonzero");
+    let grid = intensity_grid();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut mixes = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    while mixes.len() < count {
+        let mut benchmarks = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let (_, cell) = &grid[rng.gen_range(0..grid.len())];
+            benchmarks.push(*cell.choose(&mut rng).expect("grid cells are nonempty"));
+        }
+        // Order within a mix is irrelevant to the shared LLC; canonicalize
+        // so duplicates are detected.
+        benchmarks.sort();
+        let mix = WorkloadMix::new(benchmarks);
+        // Allow duplicates only once we have exhausted the distinct space
+        // (relevant for tiny 1-2 core sweeps with large counts).
+        if seen.insert(mix.clone()) || seen.len() as u64 >= distinct_bound(cores) {
+            mixes.push(mix);
+        }
+    }
+    mixes
+}
+
+/// Crude upper bound on the number of distinct sorted mixes (multisets of
+/// 14 benchmarks), used to decide when duplicates must be admitted.
+fn distinct_bound(cores: usize) -> u64 {
+    // C(14 + cores - 1, cores), saturating.
+    let mut num: u64 = 1;
+    let mut den: u64 = 1;
+    for i in 0..cores as u64 {
+        num = num.saturating_mul(14 + i);
+        den = den.saturating_mul(i + 1);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_benchmarks() {
+        let grid = intensity_grid();
+        let total: usize = grid.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, Benchmark::ALL.len());
+        assert!(grid.len() >= 4, "grid too degenerate: {grid:?}");
+    }
+
+    #[test]
+    fn mixes_are_deterministic_and_sized() {
+        let a = generate_mixes(4, 50, 7);
+        let b = generate_mixes(4, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|m| m.cores() == 4));
+        assert_ne!(a, generate_mixes(4, 50, 8));
+    }
+
+    #[test]
+    fn mixes_are_distinct_when_space_allows() {
+        let mixes = generate_mixes(4, 100, 3);
+        let set: std::collections::HashSet<_> = mixes.iter().collect();
+        assert_eq!(set.len(), mixes.len());
+    }
+
+    #[test]
+    fn mixes_span_write_intensities() {
+        let mixes = generate_mixes(2, 102, 42);
+        let any_heavy = mixes
+            .iter()
+            .any(|m| m.benchmarks().iter().any(|b| b.write_class() == Intensity::High));
+        let any_light = mixes
+            .iter()
+            .any(|m| m.benchmarks().iter().all(|b| b.write_class() == Intensity::Low));
+        assert!(any_heavy && any_light);
+    }
+
+    #[test]
+    fn label_joins_names() {
+        let m = WorkloadMix::new(vec![Benchmark::GemsFdtd, Benchmark::Libquantum]);
+        assert_eq!(m.label(), "GemsFDTD+libquantum");
+        assert_eq!(m.to_string(), "GemsFDTD+libquantum");
+    }
+
+    #[test]
+    fn tiny_space_admits_duplicates() {
+        // 1-core mixes: only 14 distinct; ask for more.
+        let mixes = generate_mixes(1, 30, 5);
+        assert_eq!(mixes.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_mix_panics() {
+        let _ = WorkloadMix::new(vec![]);
+    }
+}

