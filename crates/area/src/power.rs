@@ -26,15 +26,13 @@ impl DbiPowerOverhead {
     #[must_use]
     pub fn for_cache(capacity_bytes: u64, alpha: Alpha, granularity: usize) -> Self {
         let storage = CacheStorage::paper_cache(capacity_bytes);
-        let cache_bits =
-            storage.conventional_tag_store_bits(EccMode::None) + storage.data_bits();
+        let cache_bits = storage.conventional_tag_store_bits(EccMode::None) + storage.data_bits();
         let cache = SramArray::new(cache_bits);
         let dbi = SramArray::new(storage.dbi_bits(alpha, granularity, EccMode::None));
 
         DbiPowerOverhead {
             static_fraction: dbi.leakage_mw() / (cache.leakage_mw() + dbi.leakage_mw()),
-            dynamic_fraction: DBI_ACCESS_RATIO * dbi.access_energy_pj()
-                / cache.access_energy_pj(),
+            dynamic_fraction: DBI_ACCESS_RATIO * dbi.access_energy_pj() / cache.access_energy_pj(),
         }
     }
 }

@@ -145,7 +145,11 @@ mod tests {
         // DBI ~4 cycles. The analytical model lands in their neighbourhood
         // from the structure sizes alone.
         let l1 = SramArray::new(32 * 1024 * 8);
-        assert!(l1.access_latency_cycles() <= 3, "{}", l1.access_latency_cycles());
+        assert!(
+            l1.access_latency_cycles() <= 3,
+            "{}",
+            l1.access_latency_cycles()
+        );
 
         // 2 MB LLC tag store: ~30 bits x 32k entries ~ 1 Mbit.
         let llc_tag = SramArray::new(32 * 1024 * 30);
@@ -166,7 +170,11 @@ mod tests {
         // The DBI (12 kbit) is far faster than the tag store — the paper's
         // first "nice property" and its Table 1 latency of 4 cycles.
         let dbi = SramArray::new(12 * 1024);
-        assert!(dbi.access_latency_cycles() <= 4, "{}", dbi.access_latency_cycles());
+        assert!(
+            dbi.access_latency_cycles() <= 4,
+            "{}",
+            dbi.access_latency_cycles()
+        );
         assert!(dbi.access_latency_cycles() < llc_tag.access_latency_cycles());
     }
 }

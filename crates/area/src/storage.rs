@@ -60,7 +60,11 @@ impl CacheStorage {
     /// at 2 MB, 32 ways above.
     #[must_use]
     pub fn paper_cache(capacity_bytes: u64) -> Self {
-        let ways = if capacity_bytes <= 2 * 1024 * 1024 { 16 } else { 32 };
+        let ways = if capacity_bytes <= 2 * 1024 * 1024 {
+            16
+        } else {
+            32
+        };
         CacheStorage::new(capacity_bytes, ways, 64)
     }
 
@@ -154,8 +158,9 @@ impl CacheStorage {
     #[must_use]
     pub fn dbi_bits(&self, alpha: Alpha, granularity: usize, ecc: EccMode) -> u64 {
         let config = self.dbi_config(alpha, granularity);
-        let row_addr_bits =
-            u64::from(PHYS_ADDR_BITS) - self.block_bytes.ilog2() as u64 - granularity.ilog2() as u64;
+        let row_addr_bits = u64::from(PHYS_ADDR_BITS)
+            - self.block_bytes.ilog2() as u64
+            - granularity.ilog2() as u64;
         let row_tag_bits = row_addr_bits - config.sets().ilog2() as u64;
         let repl_bits = u64::from(config.associativity().ilog2());
         let per_entry = 1 + row_tag_bits + granularity as u64 + repl_bits;
@@ -233,7 +238,10 @@ mod tests {
         let tag = c.tag_store_reduction();
         let cache = c.cache_reduction();
         assert!((0.40..=0.48).contains(&tag), "tag reduction {tag:.3}");
-        assert!((0.055..=0.085).contains(&cache), "cache reduction {cache:.3}");
+        assert!(
+            (0.055..=0.085).contains(&cache),
+            "cache reduction {cache:.3}"
+        );
     }
 
     #[test]
@@ -243,7 +251,10 @@ mod tests {
         let tag = c.tag_store_reduction();
         let cache = c.cache_reduction();
         assert!((0.22..=0.30).contains(&tag), "tag reduction {tag:.3}");
-        assert!((0.03..=0.055).contains(&cache), "cache reduction {cache:.3}");
+        assert!(
+            (0.03..=0.055).contains(&cache),
+            "cache reduction {cache:.3}"
+        );
     }
 
     #[test]
@@ -279,8 +290,8 @@ mod tests {
     fn dirty_bits_equal_block_count() {
         // Sanity: removing the dirty bit saves exactly one bit per block.
         let s = CacheStorage::paper_cache(mb(2));
-        let diff = s.conventional_tag_store_bits(EccMode::None)
-            - s.dbi_tag_store_bits(EccMode::None);
+        let diff =
+            s.conventional_tag_store_bits(EccMode::None) - s.dbi_tag_store_bits(EccMode::None);
         assert_eq!(diff, s.blocks());
     }
 

@@ -28,9 +28,7 @@ impl TagStoreScan {
         (row_base..row_base + granularity)
             .filter(|&b| {
                 let set = (b % 2048) as usize;
-                self.sets[set]
-                    .iter()
-                    .any(|&(blk, dirty)| blk == b && dirty)
+                self.sets[set].iter().any(|&(blk, dirty)| blk == b && dirty)
             })
             .collect()
     }

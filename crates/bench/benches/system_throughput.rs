@@ -15,7 +15,10 @@ fn bench_simulation(c: &mut Criterion) {
     for mechanism in [
         Mechanism::Baseline,
         Mechanism::Dawb,
-        Mechanism::Dbi { awb: true, clb: true },
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
     ] {
         group.bench_function(mechanism.label(), |bencher| {
             bencher.iter(|| {

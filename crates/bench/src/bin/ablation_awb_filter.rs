@@ -15,13 +15,15 @@ use system_sim::{run_mix, Mechanism, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
-fn run(
-    bench: Benchmark,
-    effort: Effort,
-    filter: bool,
-) -> (f64, f64, Option<(u64, u64)>) {
-    let mut config: SystemConfig =
-        config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+fn run(bench: Benchmark, effort: Effort, filter: bool) -> (f64, f64, Option<(u64, u64)>) {
+    let mut config: SystemConfig = config_for(
+        1,
+        Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+        effort,
+    );
     config.awb_rewrite_filter = filter;
     let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
     let stats = r

@@ -50,7 +50,13 @@ fn main() {
                 .collect();
             for (mechanism, sum) in [
                 (Mechanism::Baseline, &mut base_sum),
-                (Mechanism::Dbi { awb: true, clb: true }, &mut dbi_sum),
+                (
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: true,
+                    },
+                    &mut dbi_sum,
+                ),
             ] {
                 let mut c = config_for(cores, mechanism, effort);
                 c.dram.channels = channels;

@@ -33,7 +33,14 @@ fn main() {
         let mut ipcs = Vec::new();
         let mut wpki = 0.0;
         for &bench in &benchmarks {
-            let mut config = config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+            let mut config = config_for(
+                1,
+                Mechanism::Dbi {
+                    awb: true,
+                    clb: false,
+                },
+                effort,
+            );
             config.dbi.associativity = assoc;
             let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
             ipcs.push(r.cores[0].ipc());

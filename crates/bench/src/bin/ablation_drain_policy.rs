@@ -21,8 +21,14 @@ fn main() {
     let benchmarks = [Benchmark::Lbm, Benchmark::Stream, Benchmark::GemsFdtd];
     let policies: [(&str, DrainPolicy); 3] = [
         ("drain-when-full", DrainPolicy::WhenFull),
-        ("watermark 48/16", DrainPolicy::Watermark { high: 48, low: 16 }),
-        ("watermark 32/8", DrainPolicy::Watermark { high: 32, low: 8 }),
+        (
+            "watermark 48/16",
+            DrainPolicy::Watermark { high: 48, low: 16 },
+        ),
+        (
+            "watermark 32/8",
+            DrainPolicy::Watermark { high: 32, low: 8 },
+        ),
     ];
 
     let header: Vec<String> = [
@@ -38,7 +44,13 @@ fn main() {
     let mut rows = Vec::new();
     for (label, policy) in policies {
         let mut cells = vec![label.to_string()];
-        for mechanism in [Mechanism::Baseline, Mechanism::Dbi { awb: true, clb: false }] {
+        for mechanism in [
+            Mechanism::Baseline,
+            Mechanism::Dbi {
+                awb: true,
+                clb: false,
+            },
+        ] {
             let mut ipcs = Vec::new();
             let mut rhr = 0.0;
             for &bench in &benchmarks {

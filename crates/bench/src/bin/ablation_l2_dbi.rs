@@ -46,7 +46,14 @@ fn main() {
         let mut rhrs = Vec::new();
         let mut bursts = Vec::new();
         for l2_dbi in [false, true] {
-            let mut config = config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+            let mut config = config_for(
+                1,
+                Mechanism::Dbi {
+                    awb: true,
+                    clb: false,
+                },
+                effort,
+            );
             config.l2_dbi = l2_dbi;
             let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
             ipcs.push(r.cores[0].ipc());

@@ -39,7 +39,14 @@ fn main() {
         let mut wpki = 0.0;
         let mut bursts = Vec::new();
         for &bench in &benchmarks {
-            let mut config = config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+            let mut config = config_for(
+                1,
+                Mechanism::Dbi {
+                    awb: true,
+                    clb: false,
+                },
+                effort,
+            );
             config.dbi.policy = policy;
             let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
             ipcs.push(r.cores[0].ipc());

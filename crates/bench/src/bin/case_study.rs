@@ -25,9 +25,18 @@ fn main() {
     let mechanisms = [
         Mechanism::Baseline,
         Mechanism::Dawb,
-        Mechanism::Dbi { awb: false, clb: false },
-        Mechanism::Dbi { awb: true, clb: false },
-        Mechanism::Dbi { awb: true, clb: true },
+        Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        },
+        Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
     ];
 
     let header: Vec<String> = [

@@ -37,10 +37,7 @@ fn main() {
 
     let panel = |title: &str, f: &dyn Fn(&MixResult) -> f64, summary: &str| {
         println!("\n== Figure 6{title} ==");
-        let tsv_name = format!(
-            "fig6{}.tsv",
-            title.split(':').next().unwrap_or("x").trim()
-        );
+        let tsv_name = format!("fig6{}.tsv", title.split(':').next().unwrap_or("x").trim());
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); mechanisms.len()];
         for (bi, bench) in Benchmark::ALL.iter().enumerate() {

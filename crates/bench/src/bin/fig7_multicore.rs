@@ -7,7 +7,9 @@
 //! Usage: `cargo run --release -p dbi-bench --bin fig7_multicore
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, parallel_map, pct, print_table, seeds_from_args, write_tsv, AloneIpcCache, Effort};
+use dbi_bench::{
+    config_for, parallel_map, pct, print_table, seeds_from_args, write_tsv, AloneIpcCache, Effort,
+};
 use system_sim::{metrics, run_mix, Mechanism};
 use trace_gen::mix::generate_mixes;
 
@@ -15,10 +17,22 @@ const MECHANISMS: [Mechanism; 7] = [
     Mechanism::Baseline,
     Mechanism::TaDip,
     Mechanism::Dawb,
-    Mechanism::Dbi { awb: false, clb: false },
-    Mechanism::Dbi { awb: true, clb: false },
-    Mechanism::Dbi { awb: false, clb: true },
-    Mechanism::Dbi { awb: true, clb: true },
+    Mechanism::Dbi {
+        awb: false,
+        clb: false,
+    },
+    Mechanism::Dbi {
+        awb: true,
+        clb: false,
+    },
+    Mechanism::Dbi {
+        awb: false,
+        clb: true,
+    },
+    Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    },
 ];
 
 fn main() {

@@ -28,14 +28,23 @@ fn main() {
         };
         let base = ws(Mechanism::Baseline);
         let dawb = ws(Mechanism::Dawb) / base;
-        let dbi = ws(Mechanism::Dbi { awb: true, clb: true }) / base;
+        let dbi = ws(Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        }) / base;
         series.push((mix.label(), dawb, dbi));
         eprintln!("fig8: mix {}/{} done", i + 1, mixes.len());
     }
     series.sort_by(|a, b| a.2.total_cmp(&b.2));
 
-    println!("\n== Figure 8: 4-core normalized weighted speedup ({} workloads) ==", series.len());
-    println!("{:<44} {:>9} {:>12}", "workload (sorted by DBI+AWB+CLB)", "DAWB", "DBI+AWB+CLB");
+    println!(
+        "\n== Figure 8: 4-core normalized weighted speedup ({} workloads) ==",
+        series.len()
+    );
+    println!(
+        "{:<44} {:>9} {:>12}",
+        "workload (sorted by DBI+AWB+CLB)", "DAWB", "DBI+AWB+CLB"
+    );
     for (label, dawb, dbi) in &series {
         println!("{label:<44} {dawb:>9.3} {dbi:>12.3}");
     }
@@ -45,9 +54,7 @@ fn main() {
         .collect();
     let rows: Vec<Vec<String>> = series
         .iter()
-        .map(|(label, dawb, dbi)| {
-            vec![label.clone(), format!("{dawb:.4}"), format!("{dbi:.4}")]
-        })
+        .map(|(label, dawb, dbi)| vec![label.clone(), format!("{dawb:.4}"), format!("{dbi:.4}")])
         .collect();
     write_tsv("fig8.tsv", &header, &rows);
 

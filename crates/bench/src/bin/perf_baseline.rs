@@ -1,0 +1,217 @@
+//! `perf_baseline` — fixed-workload measurement of the simulation hot path.
+//!
+//! Runs one fixed single-core and one fixed 4-core workload at `--quick`
+//! effort across a representative mechanism set, and writes
+//! `BENCH_hotpath.json` at the workspace root with wall-clock seconds,
+//! trace records/second, and heap-allocation counts per mechanism. The
+//! committed copy of that file is the performance baseline: optimizations
+//! to the per-access path re-run this binary and diff against it (see
+//! docs/architecture.md, "Performance baseline workflow").
+//!
+//! Pass `--full` for the longer default measurement window; `--out PATH`
+//! overrides the output location.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dbi_bench::Effort;
+use system_sim::{run_mix, Mechanism, MixResult, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+/// Allocation-counting wrapper around the system allocator. The baseline
+/// pins allocations-per-record, so a change that reintroduces per-access
+/// heap traffic on the hot path shows up as a step in the JSON even when
+/// the wall clock on a noisy machine does not.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// One timed simulation run.
+struct Measurement {
+    mechanism: &'static str,
+    wall_seconds: f64,
+    records: u64,
+    allocations: u64,
+    allocated_bytes: u64,
+    ipc: f64,
+}
+
+impl Measurement {
+    fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.wall_seconds
+    }
+
+    fn allocs_per_record(&self) -> f64 {
+        self.allocations as f64 / self.records as f64
+    }
+}
+
+const MECHANISMS: [Mechanism; 5] = [
+    Mechanism::Baseline,
+    Mechanism::TaDip,
+    Mechanism::Dawb,
+    Mechanism::Vwq,
+    Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    },
+];
+
+fn measure(mix: &WorkloadMix, cores: usize, mechanism: Mechanism, effort: Effort) -> Measurement {
+    let mut config = SystemConfig::for_cores(cores, mechanism);
+    config.warmup_insts = effort.warmup_insts();
+    config.measure_insts = effort.measure_insts();
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes_before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let result: MixResult = run_mix(mix, &config);
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    Measurement {
+        mechanism: mechanism.label(),
+        wall_seconds,
+        records: result.records_processed,
+        allocations: ALLOCATIONS.load(Ordering::Relaxed) - allocs_before,
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes_before,
+        ipc: result.cores.iter().map(system_sim::CoreResult::ipc).sum(),
+    }
+}
+
+fn json_for(name: &str, cores: usize, benchmarks: &[Benchmark], runs: &[Measurement]) -> String {
+    let bench_list = benchmarks
+        .iter()
+        .map(|b| format!("\"{}\"", b.label()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "    {{\n      \"name\": \"{name}\",\n      \"cores\": {cores},\n      \"benchmarks\": [{bench_list}],\n      \"mechanisms\": [\n"
+    ));
+    for (i, m) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{ \"mechanism\": \"{}\", \"wall_seconds\": {:.3}, \"records\": {}, \"records_per_sec\": {:.0}, \"allocations\": {}, \"allocated_bytes\": {}, \"allocs_per_record\": {:.4}, \"aggregate_ipc\": {:.4} }}{}\n",
+            m.mechanism,
+            m.wall_seconds,
+            m.records,
+            m.records_per_sec(),
+            m.allocations,
+            m.allocated_bytes,
+            m.allocs_per_record(),
+            m.ipc,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    let total_records: u64 = runs.iter().map(|m| m.records).sum();
+    let total_wall: f64 = runs.iter().map(|m| m.wall_seconds).sum();
+    out.push_str(&format!(
+        "      ],\n      \"total_records\": {},\n      \"total_wall_seconds\": {:.3},\n      \"records_per_sec\": {:.0}\n    }}",
+        total_records,
+        total_wall,
+        total_records as f64 / total_wall,
+    ));
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || dbi_bench::workspace_root().join("BENCH_hotpath.json"),
+            std::path::PathBuf::from,
+        );
+
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "warning: debug build — baseline numbers are only comparable across release builds"
+        );
+    }
+
+    let single = WorkloadMix::new(vec![Benchmark::Lbm]);
+    let quad = WorkloadMix::new(vec![
+        Benchmark::Lbm,
+        Benchmark::Mcf,
+        Benchmark::Libquantum,
+        Benchmark::Stream,
+    ]);
+
+    let mut sections = Vec::new();
+    let mut headline = 0.0f64;
+    for (name, cores, mix) in [
+        ("single_core_lbm", 1usize, &single),
+        ("quad_core_mix", 4usize, &quad),
+    ] {
+        eprintln!("{name} ({} mechanisms)...", MECHANISMS.len());
+        let runs: Vec<Measurement> = MECHANISMS
+            .iter()
+            .map(|&mechanism| {
+                let m = measure(mix, cores, mechanism, effort);
+                eprintln!(
+                    "  {:<14} {:>8.2}s  {:>10.0} rec/s  {:>7.4} allocs/rec",
+                    m.mechanism,
+                    m.wall_seconds,
+                    m.records_per_sec(),
+                    m.allocs_per_record(),
+                );
+                m
+            })
+            .collect();
+        if name == "quad_core_mix" {
+            let records: u64 = runs.iter().map(|m| m.records).sum();
+            let wall: f64 = runs.iter().map(|m| m.wall_seconds).sum();
+            headline = records as f64 / wall;
+        }
+        sections.push(json_for(name, cores, mix.benchmarks(), &runs));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"dbi-hotpath-perf/v1\",\n  \"effort\": \"{}\",\n  \"build\": \"{}\",\n  \"warmup_insts_per_core\": {},\n  \"measure_insts_per_core\": {},\n  \"headline_quad_core_records_per_sec\": {:.0},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        if effort == Effort::Full { "full" } else { "quick" },
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        effort.warmup_insts(),
+        effort.measure_insts(),
+        headline,
+        sections.join(",\n"),
+    );
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+    println!("headline_quad_core_records_per_sec {headline:.0}");
+}

@@ -48,10 +48,22 @@ fn parse_mechanism(s: &str) -> Result<Mechanism, String> {
         "dawb" => Mechanism::Dawb,
         "vwq" => Mechanism::Vwq,
         "skip-cache" | "skipcache" => Mechanism::SkipCache,
-        "dbi" => Mechanism::Dbi { awb: false, clb: false },
-        "dbi+awb" => Mechanism::Dbi { awb: true, clb: false },
-        "dbi+clb" => Mechanism::Dbi { awb: false, clb: true },
-        "dbi+awb+clb" => Mechanism::Dbi { awb: true, clb: true },
+        "dbi" => Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        },
+        "dbi+awb" => Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+        "dbi+clb" => Mechanism::Dbi {
+            awb: false,
+            clb: true,
+        },
+        "dbi+awb+clb" => Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
         other => return Err(format!("unknown mechanism '{other}'")),
     })
 }
@@ -77,7 +89,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let mut benchmarks: Vec<Benchmark> = Vec::new();
-    let mut mechanism = Mechanism::Dbi { awb: true, clb: true };
+    let mut mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    };
     let mut llc_mb: u64 = 2;
     let mut alpha = Alpha::QUARTER;
     let mut granularity: usize = 64;
@@ -104,7 +119,9 @@ fn run() -> Result<(), String> {
             "--llc-mb" => llc_mb = value()?.parse().map_err(|e| format!("--llc-mb: {e}"))?,
             "--alpha" => alpha = parse_alpha(&value()?)?,
             "--granularity" => {
-                granularity = value()?.parse().map_err(|e| format!("--granularity: {e}"))?;
+                granularity = value()?
+                    .parse()
+                    .map_err(|e| format!("--granularity: {e}"))?;
             }
             "--warmup" => warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
             "--insts" => insts = value()?.parse().map_err(|e| format!("--insts: {e}"))?,
@@ -187,7 +204,10 @@ mod tests {
         assert_eq!(parse_mechanism("ta-dip").unwrap(), Mechanism::TaDip);
         assert_eq!(
             parse_mechanism("dbi+awb+clb").unwrap(),
-            Mechanism::Dbi { awb: true, clb: true }
+            Mechanism::Dbi {
+                awb: true,
+                clb: true
+            }
         );
         assert!(parse_mechanism("dbi+clb+awb").is_err(), "order is fixed");
         assert!(parse_mechanism("magic").is_err());

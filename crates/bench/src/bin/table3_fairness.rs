@@ -23,15 +23,10 @@ fn main() {
     let effort = Effort::from_args();
     let mut alone = AloneIpcCache::new();
 
-    let header: Vec<String> = [
-        "metric",
-        "2-core",
-        "4-core",
-        "8-core",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> = ["metric", "2-core", "4-core", "8-core"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     let mut cols: Vec<(usize, Sums, Sums)> = Vec::new();
 
     for cores in [2usize, 4, 8] {
@@ -42,7 +37,13 @@ fn main() {
             let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
             for (mechanism, sums) in [
                 (Mechanism::Baseline, &mut base),
-                (Mechanism::Dbi { awb: true, clb: true }, &mut dbi),
+                (
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: true,
+                    },
+                    &mut dbi,
+                ),
             ] {
                 let config = config_for(cores, mechanism, effort);
                 let ipcs = run_mix(mix, &config).ipcs();

@@ -30,10 +30,18 @@ fn main() {
         .collect();
     let rows = vec![
         std::iter::once("Static".to_string())
-            .chain(overheads.iter().map(|o| format!("{:.2}%", o.static_fraction * 100.0)))
+            .chain(
+                overheads
+                    .iter()
+                    .map(|o| format!("{:.2}%", o.static_fraction * 100.0)),
+            )
             .collect::<Vec<_>>(),
         std::iter::once("Dynamic".to_string())
-            .chain(overheads.iter().map(|o| format!("{:.1}%", o.dynamic_fraction * 100.0)))
+            .chain(
+                overheads
+                    .iter()
+                    .map(|o| format!("{:.1}%", o.dynamic_fraction * 100.0)),
+            )
             .collect::<Vec<_>>(),
     ];
     print_table(12, 8, &header, &rows);
@@ -47,7 +55,14 @@ fn main() {
         let base = run_mix(&mix, &config_for(1, Mechanism::Baseline, effort));
         let dbi = run_mix(
             &mix,
-            &config_for(1, Mechanism::Dbi { awb: true, clb: true }, effort),
+            &config_for(
+                1,
+                Mechanism::Dbi {
+                    awb: true,
+                    clb: true,
+                },
+                effort,
+            ),
         );
         let ratio = dbi.energy.total_pj() / base.energy.total_pj();
         ratios.push(ratio);

@@ -36,8 +36,14 @@ fn main() {
         for &granularity in &granularities {
             let mut ipcs = Vec::new();
             for bench in Benchmark::ALL {
-                let mut config =
-                    config_for(1, Mechanism::Dbi { awb: true, clb: false }, effort);
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: false,
+                    },
+                    effort,
+                );
                 config.dbi.alpha = alpha;
                 config.dbi.granularity = granularity;
                 ipcs.push(run_mix(&WorkloadMix::new(vec![bench]), &config).cores[0].ipc());

@@ -31,7 +31,14 @@ fn main() {
     let mut sweep = |label: String, threshold: f64, epoch: u64, alpha: Alpha| {
         let mut row = vec![label];
         for &bench in &benchmarks {
-            let mut config = config_for(1, Mechanism::Dbi { awb: false, clb: true }, effort);
+            let mut config = config_for(
+                1,
+                Mechanism::Dbi {
+                    awb: false,
+                    clb: true,
+                },
+                effort,
+            );
             config.predictor_threshold = threshold;
             config.predictor_epoch_cycles = epoch;
             config.dbi.alpha = alpha;
@@ -46,11 +53,21 @@ fn main() {
     };
 
     for threshold in [0.5, 0.75, 0.9, 0.95] {
-        sweep(format!("threshold={threshold}"), threshold, 500_000, Alpha::QUARTER);
+        sweep(
+            format!("threshold={threshold}"),
+            threshold,
+            500_000,
+            Alpha::QUARTER,
+        );
         eprintln!("clb sweep: threshold {threshold} done");
     }
     for epoch in [100_000u64, 500_000, 2_500_000] {
-        sweep(format!("epoch={}k cyc", epoch / 1000), 0.95, epoch, Alpha::QUARTER);
+        sweep(
+            format!("epoch={}k cyc", epoch / 1000),
+            0.95,
+            epoch,
+            Alpha::QUARTER,
+        );
         eprintln!("clb sweep: epoch {epoch} done");
     }
     for alpha in [Alpha::QUARTER, Alpha::HALF] {

@@ -13,11 +13,7 @@ use system_sim::{metrics, run_alone, run_mix, Mechanism, SystemConfig};
 use trace_gen::mix::generate_mixes;
 use trace_gen::Benchmark;
 
-fn ws_improvement(
-    cores: usize,
-    effort: Effort,
-    adjust: &dyn Fn(&mut SystemConfig),
-) -> f64 {
+fn ws_improvement(cores: usize, effort: Effort, adjust: &dyn Fn(&mut SystemConfig)) -> f64 {
     let mixes = generate_mixes(cores, effort.mix_count(cores).min(10), 42);
     // Alone baselines must use the same adjusted geometry.
     let mut alone: std::collections::HashMap<Benchmark, f64> = std::collections::HashMap::new();
@@ -37,7 +33,13 @@ fn ws_improvement(
             .collect();
         for (mechanism, total) in [
             (Mechanism::Baseline, &mut total_base),
-            (Mechanism::Dbi { awb: true, clb: true }, &mut total_dbi),
+            (
+                Mechanism::Dbi {
+                    awb: true,
+                    clb: true,
+                },
+                &mut total_dbi,
+            ),
         ] {
             let mut config = config_for(cores, mechanism, effort);
             adjust(&mut config);

@@ -18,7 +18,15 @@ fn main() {
 
     println!("== Profile parameters and intensity classes ==");
     let header: Vec<String> = [
-        "benchmark", "APKI", "wr%", "dep%", "class(R,W)", "hot", "warm", "wr-span", "stream%",
+        "benchmark",
+        "APKI",
+        "wr%",
+        "dep%",
+        "class(R,W)",
+        "hot",
+        "warm",
+        "wr-span",
+        "stream%",
     ]
     .iter()
     .map(ToString::to_string)

@@ -81,10 +81,22 @@ pub const FIGURE_MECHANISMS: [Mechanism; 7] = [
     Mechanism::TaDip,
     Mechanism::Dawb,
     Mechanism::Vwq,
-    Mechanism::Dbi { awb: false, clb: false },
-    Mechanism::Dbi { awb: true, clb: false },
-    Mechanism::Dbi { awb: false, clb: true },
-    Mechanism::Dbi { awb: true, clb: true },
+    Mechanism::Dbi {
+        awb: false,
+        clb: false,
+    },
+    Mechanism::Dbi {
+        awb: true,
+        clb: false,
+    },
+    Mechanism::Dbi {
+        awb: false,
+        clb: true,
+    },
+    Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    },
 ];
 
 /// Builds a [`SystemConfig`] at the given effort level.
@@ -113,22 +125,14 @@ impl AloneIpcCache {
 
     /// Alone IPC of `benchmark` on an `cores`-core geometry.
     pub fn get(&mut self, benchmark: Benchmark, cores: usize, effort: Effort) -> f64 {
-        *self
-            .cache
-            .entry((cores, benchmark))
-            .or_insert_with(|| {
-                let config = config_for(cores, Mechanism::Baseline, effort);
-                run_alone(benchmark, &config).cores[0].ipc()
-            })
+        *self.cache.entry((cores, benchmark)).or_insert_with(|| {
+            let config = config_for(cores, Mechanism::Baseline, effort);
+            run_alone(benchmark, &config).cores[0].ipc()
+        })
     }
 
     /// Alone IPCs for every benchmark of a mix, in mix order.
-    pub fn for_mix(
-        &mut self,
-        benchmarks: &[Benchmark],
-        cores: usize,
-        effort: Effort,
-    ) -> Vec<f64> {
+    pub fn for_mix(&mut self, benchmarks: &[Benchmark], cores: usize, effort: Effort) -> Vec<f64> {
         benchmarks
             .iter()
             .map(|&b| self.get(b, cores, effort))
@@ -218,12 +222,40 @@ pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
-/// Writes rows as a tab-separated file under `results/` (creating the
+/// Absolute path of the workspace root, derived from this crate's manifest
+/// directory at compile time. Experiment binaries anchor their outputs here
+/// so they behave identically from any working directory.
+#[must_use]
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Directory experiment binaries write machine-readable outputs to: the
+/// value of a `--out-dir PATH` argument if one was passed, otherwise
+/// `results/` under the workspace root (NOT the current directory).
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || workspace_root().join("results"),
+            std::path::PathBuf::from,
+        )
+}
+
+/// Writes rows as a tab-separated file under [`results_dir`] (creating the
 /// directory if needed), so the figures are machine-readable for plotting.
 /// Errors are reported to stderr, not fatal — the printed tables are the
 /// primary output.
 pub fn write_tsv(name: &str, header: &[String], rows: &[Vec<String>]) {
-    let path = std::path::Path::new("results").join(name);
+    let dir = results_dir();
+    let path = dir.join(name);
     let render = |cells: &[String]| cells.join("\t");
     let mut out = render(header);
     for row in rows {
@@ -231,9 +263,7 @@ pub fn write_tsv(name: &str, header: &[String], rows: &[Vec<String>]) {
         out.push_str(&render(row));
     }
     out.push('\n');
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&path, out))
-    {
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, out)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("wrote {}", path.display());

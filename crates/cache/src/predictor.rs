@@ -118,8 +118,8 @@ impl MissPredictor {
     pub fn tick(&mut self, now_cycle: u64) {
         while now_cycle >= self.epoch_end {
             for (c, bypass) in self.counters.iter_mut().zip(&mut self.bypassing) {
-                *bypass = c.accesses > 0
-                    && (c.misses as f64 / c.accesses as f64) > self.config.threshold;
+                *bypass =
+                    c.accesses > 0 && (c.misses as f64 / c.accesses as f64) > self.config.threshold;
                 *c = EpochCounters::default();
             }
             self.epoch_end += self.config.epoch_cycles;

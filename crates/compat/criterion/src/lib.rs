@@ -1,0 +1,289 @@
+//! Vendored, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` working by implementing the subset
+//! of the API the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], [`Throughput::Elements`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — as a plain
+//! wall-clock harness: each benchmark is warmed up briefly, then timed over
+//! enough iterations to fill a short measurement window, and the mean
+//! time/iteration (plus derived element throughput, when declared) is
+//! printed. There is no statistical analysis, outlier rejection, or HTML
+//! report; numbers are indicative, not criterion-grade.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared per-iteration workload, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for
+/// compatibility; this harness always runs one setup per timed batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state: setup cost is amortized per iteration.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+            sample_scale: 1.0,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark (an anonymous one-off group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+            sample_scale: 1.0,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    throughput: Option<Throughput>,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts criterion's sample-count knob; this harness uses it only to
+    /// scale the measurement window down for expensive benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // criterion's default is 100 samples; fewer samples => cheaper bench.
+        self.sample_scale = (samples as f64 / 100.0).clamp(0.05, 1.0);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let warmup = self.criterion.warmup.mul_f64(self.sample_scale);
+        let measurement = self.criterion.measurement.mul_f64(self.sample_scale);
+
+        // Warmup: run single iterations until the warmup window elapses,
+        // learning the per-iteration cost as we go.
+        let mut per_iter = Duration::from_nanos(1);
+        let warmup_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed;
+            }
+            if warmup_start.elapsed() >= warmup {
+                break;
+            }
+        }
+
+        // Measurement: one batch sized to roughly fill the window.
+        let iters =
+            (measurement.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 50_000_000.0) as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / iters as f64;
+
+        let mut line = format!("  {name:<40} {:>12}/iter ({iters} iters)", fmt_time(mean));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / mean;
+            line.push_str(&format!("  {rate:.3e} {unit}/s"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing nothing; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness arguments (e.g. `--bench`,
+            // filters); this minimal harness runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 8]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!((setups, runs), (5, 5));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion {
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut ran = false;
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(4))
+            .bench_function("noop", |b| {
+                ran = true;
+                b.iter(|| black_box(1 + 1));
+            });
+        group.finish();
+        assert!(ran);
+    }
+}

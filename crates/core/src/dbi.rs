@@ -188,8 +188,7 @@ impl Dbi {
 
         let evicted = evicted.map(|old| {
             let base = old.row * granularity as u64;
-            let blocks: Vec<BlockAddr> =
-                old.bits.iter_ones().map(|o| base + o as u64).collect();
+            let blocks: Vec<BlockAddr> = old.bits.iter_ones().map(|o| base + o as u64).collect();
             self.stats.entry_evictions += 1;
             self.stats.eviction_writebacks += blocks.len() as u64;
             self.dirty_blocks -= blocks.len() as u64;
@@ -354,12 +353,9 @@ impl Dbi {
     /// in no particular order — occupancy introspection for debugging and
     /// reporting.
     pub fn entries(&self) -> impl Iterator<Item = (RowId, usize)> + '_ {
-        self.sets.iter().flat_map(|set| {
-            set.ways
-                .iter()
-                .flatten()
-                .map(|e| (e.row, e.bits.count()))
-        })
+        self.sets
+            .iter()
+            .flat_map(|set| set.ways.iter().flatten().map(|e| (e.row, e.bits.count())))
     }
 
     /// Whether the DBI currently holds an entry for `block`'s row.
@@ -429,14 +425,7 @@ mod tests {
 
     /// Small geometry: 4 sets × 2 ways × granularity 8 = 64 tracked blocks.
     fn small() -> Dbi {
-        let config = DbiConfig::new(
-            256,
-            Alpha::QUARTER,
-            8,
-            2,
-            DbiReplacementPolicy::Lrw,
-        )
-        .unwrap();
+        let config = DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
         assert_eq!(config.entries(), 8);
         assert_eq!(config.sets(), 4);
         Dbi::new(config)

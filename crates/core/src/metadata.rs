@@ -162,9 +162,7 @@ mod tests {
     use crate::replacement::DbiReplacementPolicy;
 
     fn small() -> MetaDbi<u32> {
-        MetaDbi::new(
-            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap(),
-        )
+        MetaDbi::new(DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap())
     }
 
     #[test]

@@ -151,12 +151,10 @@ impl PolicyState {
     pub(crate) fn victim(&mut self, candidates: &[usize], dirty_counts: &[usize]) -> usize {
         assert!(!candidates.is_empty(), "victim() requires candidates");
         match self.policy {
-            DbiReplacementPolicy::Lrw | DbiReplacementPolicy::LrwBip => {
-                *candidates
-                    .iter()
-                    .min_by_key(|&&w| self.meta[w])
-                    .expect("nonempty")
-            }
+            DbiReplacementPolicy::Lrw | DbiReplacementPolicy::LrwBip => *candidates
+                .iter()
+                .min_by_key(|&&w| self.meta[w])
+                .expect("nonempty"),
             DbiReplacementPolicy::Rwip => {
                 // Age until some candidate reaches the distant value.
                 loop {
@@ -175,12 +173,10 @@ impl PolicyState {
                     .max_by_key(|&&w| (dirty_counts[w], std::cmp::Reverse(self.meta[w])))
                     .expect("nonempty")
             }
-            DbiReplacementPolicy::MinDirty => {
-                *candidates
-                    .iter()
-                    .min_by_key(|&&w| (dirty_counts[w], self.meta[w]))
-                    .expect("nonempty")
-            }
+            DbiReplacementPolicy::MinDirty => *candidates
+                .iter()
+                .min_by_key(|&&w| (dirty_counts[w], self.meta[w]))
+                .expect("nonempty"),
         }
     }
 }

@@ -131,8 +131,7 @@ mod tests {
 
     fn small() -> SubBlockDbi {
         // 64-block cache x 4 sectors = 256 sector addresses.
-        let config =
-            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
+        let config = DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
         SubBlockDbi::new(config, 4)
     }
 
@@ -185,8 +184,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn sectors_must_be_power_of_two() {
-        let config =
-            DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
+        let config = DbiConfig::new(256, Alpha::QUARTER, 8, 2, DbiReplacementPolicy::Lrw).unwrap();
         let _ = SubBlockDbi::new(config, 3);
     }
 }

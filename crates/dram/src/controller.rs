@@ -57,7 +57,9 @@ impl DramStats {
             drains: self.drains - baseline.drains,
             refresh_stalls: self.refresh_stalls - baseline.refresh_stalls,
             drain_cycles: self.drain_cycles - baseline.drain_cycles,
-            coalesced_writes: self.coalesced_writes.saturating_sub(baseline.coalesced_writes),
+            coalesced_writes: self
+                .coalesced_writes
+                .saturating_sub(baseline.coalesced_writes),
         }
     }
 }
@@ -236,7 +238,11 @@ impl MemoryController {
         } else {
             // Precharge (if a row is open) then activate, throttled by
             // tRRD/tFAW and the bank\'s write recovery.
-            let prep = if bank_state.open_row.is_some() { t.t_rp } else { 0 };
+            let prep = if bank_state.open_row.is_some() {
+                t.t_rp
+            } else {
+                0
+            };
             let act = ch.schedule_activate(start.max(bank_state.precharge_ready) + prep, &t);
             self.stats.activates += 1;
             self.energy.activate_pj += self.config.energy.activate_pj;
@@ -353,10 +359,12 @@ impl MemoryController {
             } else {
                 // Wait out write recovery before precharging the bank,
                 // then activate under tRRD/tFAW throttling.
-                let prep = if bank_state.open_row.is_some() { t.t_rp } else { 0 };
-                let earliest = bank_clock[next_bank]
-                    .max(bank_state.precharge_ready)
-                    + prep;
+                let prep = if bank_state.open_row.is_some() {
+                    t.t_rp
+                } else {
+                    0
+                };
+                let earliest = bank_clock[next_bank].max(bank_state.precharge_ready) + prep;
                 let act = ch.schedule_activate(earliest, &t);
                 activates += 1;
                 act + t.t_rcd
@@ -476,8 +484,8 @@ mod tests {
         let t = DramTiming::ddr3_1066();
         let a = m.read(0, 0); // bank 0
         let b = m.read(128, 0); // bank 1, issued same cycle
-        // Bank 1's activate (tRRD after bank 0's) and CAS overlap bank 0's
-        // access; the pair completes far sooner than two serial accesses.
+                                // Bank 1's activate (tRRD after bank 0's) and CAS overlap bank 0's
+                                // access; the pair completes far sooner than two serial accesses.
         assert_eq!(a, t.row_closed());
         assert_eq!(b, t.t_rrd + t.row_closed());
         assert!(b < 2 * t.row_closed());

@@ -37,10 +37,10 @@ mod timing;
 mod write_buffer;
 
 pub use crate::controller::{DramStats, MemoryController};
-pub use crate::timing::{REFRESH_T_REFI, REFRESH_T_RFC};
 pub use crate::energy::{DramEnergy, EnergyModel};
 pub use crate::mapping::{AddressMapping, Location};
 pub use crate::timing::DramTiming;
+pub use crate::timing::{REFRESH_T_REFI, REFRESH_T_RFC};
 pub use crate::write_buffer::WriteBuffer;
 
 /// Index of a cache block in the physical address space, shared with the

@@ -46,7 +46,10 @@ impl AddressMapping {
     /// Panics if either parameter is zero.
     #[must_use]
     pub fn new(banks: u32, blocks_per_row: u32) -> Self {
-        assert!(banks > 0 && blocks_per_row > 0, "mapping parameters must be nonzero");
+        assert!(
+            banks > 0 && blocks_per_row > 0,
+            "mapping parameters must be nonzero"
+        );
         AddressMapping {
             banks,
             blocks_per_row,

@@ -315,7 +315,11 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             Mechanism::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 9);
-        assert!(Mechanism::Dbi { awb: true, clb: true }.uses_dbi());
+        assert!(Mechanism::Dbi {
+            awb: true,
+            clb: true
+        }
+        .uses_dbi());
         assert!(!Mechanism::Baseline.uses_tadip());
         assert!(Mechanism::Dawb.uses_tadip());
     }
@@ -341,7 +345,13 @@ mod tests {
 
     #[test]
     fn dbi_params_build_paper_geometry() {
-        let c = SystemConfig::for_cores(1, Mechanism::Dbi { awb: true, clb: true });
+        let c = SystemConfig::for_cores(
+            1,
+            Mechanism::Dbi {
+                awb: true,
+                clb: true,
+            },
+        );
         let dbi = c.dbi.build(c.llc_blocks()).unwrap();
         assert_eq!(dbi.tracked_blocks(), c.llc_blocks() / 4);
         assert_eq!(dbi.granularity(), 64);

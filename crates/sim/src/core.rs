@@ -51,6 +51,9 @@ pub(crate) struct CoreEngine {
     // measurement window).
     pub(crate) llc_reads: u64,
     pub(crate) llc_read_misses: u64,
+    /// Trace records executed (one per [`CoreEngine::step`] call), the unit
+    /// the perf-baseline harness reports throughput in.
+    pub(crate) records: u64,
 }
 
 impl CoreEngine {
@@ -71,12 +74,7 @@ impl CoreEngine {
         );
         let l2_dbi = config.l2_dbi.then(|| {
             let l2_blocks = config.l2_bytes / u64::from(config.block_bytes);
-            Dbi::new(
-                config
-                    .dbi
-                    .build(l2_blocks)
-                    .expect("valid L2 DBI geometry"),
-            )
+            Dbi::new(config.dbi.build(l2_blocks).expect("valid L2 DBI geometry"))
         });
         CoreEngine {
             thread,
@@ -96,6 +94,7 @@ impl CoreEngine {
             last_load_completion: 0,
             llc_reads: 0,
             llc_read_misses: 0,
+            records: 0,
         }
     }
 
@@ -158,6 +157,7 @@ impl CoreEngine {
         mut checker: Option<&mut VersionChecker>,
     ) {
         let record = self.generator.next_record();
+        self.records += 1;
         self.advance(u64::from(record.gap) + 1); // gap + the memory instruction
         let addr = record.addr + self.addr_offset;
         match record.op {
@@ -317,7 +317,13 @@ impl CoreEngine {
         if !dbi.clear_dirty(victim) {
             return;
         }
-        llc.writeback(victim, self.thread, self.cycle, dram, checker.as_deref_mut());
+        llc.writeback(
+            victim,
+            self.thread,
+            self.cycle,
+            dram,
+            checker.as_deref_mut(),
+        );
         let co_dirty: Vec<u64> = dbi.row_dirty_blocks(victim).collect();
         for b in co_dirty {
             self.l2_dbi

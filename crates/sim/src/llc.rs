@@ -98,13 +98,10 @@ impl SharedLlc {
     /// geometry — system configurations are validated programmer inputs.
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
-        let cache_config = CacheConfig::new(
-            config.llc_bytes(),
-            config.llc_ways,
-            config.block_bytes,
-        )
-        .expect("valid LLC geometry")
-        .with_replacement(config.llc_replacement);
+        let cache_config =
+            CacheConfig::new(config.llc_bytes(), config.llc_ways, config.block_bytes)
+                .expect("valid LLC geometry")
+                .with_replacement(config.llc_replacement);
         let cache = Cache::new(cache_config);
         let sets = cache.config().sets();
         let threads = config.cores;
@@ -131,9 +128,8 @@ impl SharedLlc {
                 threads,
             )
         });
-        let ssv = matches!(mechanism, Mechanism::Vwq).then(|| {
-            SetStateVector::new(sets, (config.llc_ways / VWQ_LRU_FRACTION).max(1))
-        });
+        let ssv = matches!(mechanism, Mechanism::Vwq)
+            .then(|| SetStateVector::new(sets, (config.llc_ways / VWQ_LRU_FRACTION).max(1)));
         let rewrite_filter = (config.awb_rewrite_filter
             && matches!(mechanism, Mechanism::Dbi { awb: true, .. }))
         .then(|| RewriteFilter::new(4096, 256));
@@ -457,10 +453,7 @@ impl SharedLlc {
                 continue; // SSV check is free; no tag probe
             }
             let t = self.occupy_tag_port_background(now);
-            let in_lru_ways = self
-                .cache
-                .lru_rank(b)
-                .is_some_and(|r| r < tracked);
+            let in_lru_ways = self.cache.lru_rank(b).is_some_and(|r| r < tracked);
             if in_lru_ways && self.cache.is_dirty(b) == Some(true) {
                 self.cache.set_dirty(b, false);
                 let owner = self.cache.owner(b).unwrap_or(0);
@@ -502,10 +495,7 @@ impl SharedLlc {
             debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
             let owner = self.cache.owner(b).unwrap_or(thread);
             self.write_dram(b, owner, t, dram, checker.as_deref_mut());
-            self.dbi
-                .as_mut()
-                .expect("DBI mechanism")
-                .clear_dirty(b);
+            self.dbi.as_mut().expect("DBI mechanism").clear_dirty(b);
             self.stats.sweep_writebacks += 1;
         }
     }
@@ -547,21 +537,14 @@ impl SharedLlc {
                         checker.as_deref_mut(),
                     );
                 }
-                let outcome = self
-                    .dbi
-                    .as_mut()
-                    .expect("DBI mechanism")
-                    .mark_dirty(block);
+                let outcome = self.dbi.as_mut().expect("DBI mechanism").mark_dirty(block);
                 if let Some(evicted) = outcome.evicted {
                     // DBI eviction: write back everything the entry marked;
                     // the blocks stay resident and become clean
                     // (paper Section 2.2.4).
                     for &b in evicted.blocks() {
                         let t = self.occupy_tag_port_background(now);
-                        debug_assert!(
-                            self.cache.probe(b),
-                            "DBI-dirty blocks are resident"
-                        );
+                        debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
                         let owner = self.cache.owner(b).unwrap_or(thread);
                         self.write_dram(b, owner, t, dram, checker.as_deref_mut());
                         self.stats.dbi_eviction_writebacks += 1;
@@ -572,7 +555,15 @@ impl SharedLlc {
                 if self.cache.touch(block) {
                     self.cache.set_dirty(block, true);
                 } else {
-                    self.fill(block, thread, true, Some(InsertPos::Mru), start, dram, checker);
+                    self.fill(
+                        block,
+                        thread,
+                        true,
+                        Some(InsertPos::Mru),
+                        start,
+                        dram,
+                        checker,
+                    );
                 }
             }
         }
@@ -651,7 +642,10 @@ mod tests {
 
     fn setup(mechanism: Mechanism) -> (SharedLlc, MemoryController) {
         let config = tiny_config(mechanism);
-        (SharedLlc::new(&config), MemoryController::new(DramConfig::ddr3_1066()))
+        (
+            SharedLlc::new(&config),
+            MemoryController::new(DramConfig::ddr3_1066()),
+        )
     }
 
     #[test]
@@ -683,16 +677,26 @@ mod tests {
 
     #[test]
     fn dbi_writeback_keeps_tag_clean() {
-        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: false, clb: false });
+        let (mut llc, mut dram) = setup(Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        });
         llc.writeback(7, 0, 0, &mut dram, None);
-        assert_eq!(llc.cache().is_dirty(7), Some(false), "dirty bit lives in the DBI");
+        assert_eq!(
+            llc.cache().is_dirty(7),
+            Some(false),
+            "dirty bit lives in the DBI"
+        );
         assert!(llc.dbi().expect("dbi").is_dirty(7));
         llc.assert_dbi_residency();
     }
 
     #[test]
     fn dbi_eviction_writebacks_leave_blocks_resident_and_clean() {
-        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: false, clb: false });
+        let (mut llc, mut dram) = setup(Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        });
         // DBI here: 256 tracked / 64 granularity = 4 entries in a single
         // 4-way set. Marking a 5th row evicts the LRW one (row 0).
         let g = llc.dbi().expect("dbi").config().granularity() as u64;
@@ -711,7 +715,10 @@ mod tests {
 
     #[test]
     fn awb_sweeps_only_dirty_co_row_blocks() {
-        let (mut llc, mut dram) = setup(Mechanism::Dbi { awb: true, clb: false });
+        let (mut llc, mut dram) = setup(Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        });
         // Make blocks 0 and 1 dirty (row 0).
         llc.writeback(0, 0, 0, &mut dram, None);
         llc.writeback(1, 0, 0, &mut dram, None);
@@ -726,7 +733,10 @@ mod tests {
         assert_eq!(llc.stats().sweep_writebacks, 1);
         assert!(!llc.dbi().expect("dbi").is_dirty(1));
         let probes = llc.stats().tag_lookups - before;
-        assert!(probes < 30, "AWB must not probe whole rows ({probes} probes)");
+        assert!(
+            probes < 30,
+            "AWB must not probe whole rows ({probes} probes)"
+        );
         llc.assert_dbi_residency();
     }
 
@@ -741,8 +751,15 @@ mod tests {
         }
         let probes = llc.stats().tag_lookups - before;
         // 16 demand lookups + a 127-probe sweep on the dirty eviction.
-        assert!(probes > 120, "DAWB sweeps whole DRAM rows ({probes} probes)");
-        assert_eq!(llc.stats().sweep_writebacks, 1, "but only one block was dirty");
+        assert!(
+            probes > 120,
+            "DAWB sweeps whole DRAM rows ({probes} probes)"
+        );
+        assert_eq!(
+            llc.stats().sweep_writebacks,
+            1,
+            "but only one block was dirty"
+        );
     }
 
     #[test]
@@ -760,7 +777,10 @@ mod tests {
     fn flush_dirty_cleans_everything() {
         for mechanism in [
             Mechanism::Baseline,
-            Mechanism::Dbi { awb: false, clb: false },
+            Mechanism::Dbi {
+                awb: false,
+                clb: false,
+            },
         ] {
             let (mut llc, mut dram) = setup(mechanism);
             for b in 0..20u64 {
@@ -768,7 +788,11 @@ mod tests {
             }
             let written = llc.flush_dirty(0, &mut dram, None);
             assert_eq!(written, 20, "{mechanism}");
-            assert_eq!(llc.flush_dirty(0, &mut dram, None), 0, "{mechanism}: idempotent");
+            assert_eq!(
+                llc.flush_dirty(0, &mut dram, None),
+                0,
+                "{mechanism}: idempotent"
+            );
         }
     }
 

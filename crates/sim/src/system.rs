@@ -37,6 +37,10 @@ pub struct MixResult {
     pub rewrite_filter: Option<RewriteFilterStats>,
     /// Outcome of the shadow-memory check, when enabled.
     pub check: Option<Result<(), Vec<LostWrite>>>,
+    /// Trace records executed across the *whole* run (warmup, measurement,
+    /// and any post-quota interference stepping) — the denominator of the
+    /// simulator's own records/second throughput, not a paper metric.
+    pub records_processed: u64,
 }
 
 impl MixResult {
@@ -231,6 +235,7 @@ impl System {
             .map(|d| d.stats().since(dbi_base.as_ref().expect("dbi baseline")));
 
         let rewrite_filter = self.llc.rewrite_filter_stats().copied();
+        let records_processed = self.cores.iter().map(|c| c.records).sum();
         let check = self.checker.is_some().then(|| self.flush_and_verify());
 
         MixResult {
@@ -241,6 +246,7 @@ impl System {
             dbi,
             rewrite_filter,
             check,
+            records_processed,
         }
     }
 

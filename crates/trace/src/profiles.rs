@@ -158,48 +158,164 @@ impl Benchmark {
         // (apki, wf, dep, hot_f, hot_b, warm_f, warm_b, warm_wr, stream_f, streams, footprint)
         let (apki, wf, dep, hot_f, hot_b, warm_f, warm_b, warm_wr, stream_f, streams, footprint) =
             match self {
-                Benchmark::Mcf => {
-                    (55.0, 0.22, 0.85, 0.30, 1024, 0.15, 32 << 10, 4096, 0.05, 1, 1u64 << 21)
-                }
-                Benchmark::Lbm => {
-                    (42.0, 0.45, 0.15, 0.25, 1024, 0.10, 16 << 10, 1024, 0.95, 4, 1 << 20)
-                }
-                Benchmark::GemsFdtd => {
-                    (45.0, 0.40, 0.30, 0.30, 2048, 0.15, 24 << 10, 2048, 0.85, 3, 1 << 20)
-                }
-                Benchmark::Soplex => {
-                    (42.0, 0.35, 0.50, 0.35, 2048, 0.15, 24 << 10, 2048, 0.55, 2, 1 << 20)
-                }
-                Benchmark::Omnetpp => {
-                    (38.0, 0.30, 0.80, 0.40, 2048, 0.20, 32 << 10, 6144, 0.10, 1, 1 << 20)
-                }
-                Benchmark::CactusAdm => {
-                    (30.0, 0.32, 0.30, 0.40, 2048, 0.25, 24 << 10, 2048, 0.70, 2, 1 << 19)
-                }
-                Benchmark::Stream => {
-                    (48.0, 0.40, 0.05, 0.05, 512, 0.0, 1, 1, 0.99, 4, 1 << 20)
-                }
-                Benchmark::Leslie3d => {
-                    (33.0, 0.30, 0.25, 0.40, 2048, 0.20, 24 << 10, 1536, 0.85, 3, 1 << 19)
-                }
-                Benchmark::Milc => {
-                    (30.0, 0.28, 0.30, 0.40, 2048, 0.20, 24 << 10, 1536, 0.65, 2, 1 << 19)
-                }
-                Benchmark::Sphinx3 => {
-                    (28.0, 0.15, 0.45, 0.45, 2048, 0.20, 24 << 10, 1536, 0.45, 2, 1 << 19)
-                }
-                Benchmark::Libquantum => {
-                    (33.0, 0.04, 0.05, 0.08, 512, 0.0, 1, 1, 0.98, 1, 1 << 20)
-                }
-                Benchmark::Bzip2 => {
-                    (24.0, 0.25, 0.60, 0.70, 2048, 0.25, 24 << 10, 1024, 0.40, 1, 1 << 17)
-                }
-                Benchmark::Astar => {
-                    (24.0, 0.20, 0.80, 0.70, 2048, 0.25, 24 << 10, 1024, 0.15, 1, 1 << 17)
-                }
-                Benchmark::Bwaves => {
-                    (30.0, 0.15, 0.15, 0.45, 2048, 0.15, 24 << 10, 1536, 0.90, 2, 1 << 19)
-                }
+                Benchmark::Mcf => (
+                    55.0,
+                    0.22,
+                    0.85,
+                    0.30,
+                    1024,
+                    0.15,
+                    32 << 10,
+                    4096,
+                    0.05,
+                    1,
+                    1u64 << 21,
+                ),
+                Benchmark::Lbm => (
+                    42.0,
+                    0.45,
+                    0.15,
+                    0.25,
+                    1024,
+                    0.10,
+                    16 << 10,
+                    1024,
+                    0.95,
+                    4,
+                    1 << 20,
+                ),
+                Benchmark::GemsFdtd => (
+                    45.0,
+                    0.40,
+                    0.30,
+                    0.30,
+                    2048,
+                    0.15,
+                    24 << 10,
+                    2048,
+                    0.85,
+                    3,
+                    1 << 20,
+                ),
+                Benchmark::Soplex => (
+                    42.0,
+                    0.35,
+                    0.50,
+                    0.35,
+                    2048,
+                    0.15,
+                    24 << 10,
+                    2048,
+                    0.55,
+                    2,
+                    1 << 20,
+                ),
+                Benchmark::Omnetpp => (
+                    38.0,
+                    0.30,
+                    0.80,
+                    0.40,
+                    2048,
+                    0.20,
+                    32 << 10,
+                    6144,
+                    0.10,
+                    1,
+                    1 << 20,
+                ),
+                Benchmark::CactusAdm => (
+                    30.0,
+                    0.32,
+                    0.30,
+                    0.40,
+                    2048,
+                    0.25,
+                    24 << 10,
+                    2048,
+                    0.70,
+                    2,
+                    1 << 19,
+                ),
+                Benchmark::Stream => (48.0, 0.40, 0.05, 0.05, 512, 0.0, 1, 1, 0.99, 4, 1 << 20),
+                Benchmark::Leslie3d => (
+                    33.0,
+                    0.30,
+                    0.25,
+                    0.40,
+                    2048,
+                    0.20,
+                    24 << 10,
+                    1536,
+                    0.85,
+                    3,
+                    1 << 19,
+                ),
+                Benchmark::Milc => (
+                    30.0,
+                    0.28,
+                    0.30,
+                    0.40,
+                    2048,
+                    0.20,
+                    24 << 10,
+                    1536,
+                    0.65,
+                    2,
+                    1 << 19,
+                ),
+                Benchmark::Sphinx3 => (
+                    28.0,
+                    0.15,
+                    0.45,
+                    0.45,
+                    2048,
+                    0.20,
+                    24 << 10,
+                    1536,
+                    0.45,
+                    2,
+                    1 << 19,
+                ),
+                Benchmark::Libquantum => (33.0, 0.04, 0.05, 0.08, 512, 0.0, 1, 1, 0.98, 1, 1 << 20),
+                Benchmark::Bzip2 => (
+                    24.0,
+                    0.25,
+                    0.60,
+                    0.70,
+                    2048,
+                    0.25,
+                    24 << 10,
+                    1024,
+                    0.40,
+                    1,
+                    1 << 17,
+                ),
+                Benchmark::Astar => (
+                    24.0,
+                    0.20,
+                    0.80,
+                    0.70,
+                    2048,
+                    0.25,
+                    24 << 10,
+                    1024,
+                    0.15,
+                    1,
+                    1 << 17,
+                ),
+                Benchmark::Bwaves => (
+                    30.0,
+                    0.15,
+                    0.15,
+                    0.45,
+                    2048,
+                    0.15,
+                    24 << 10,
+                    1536,
+                    0.90,
+                    2,
+                    1 << 19,
+                ),
             };
         ProfileParams {
             accesses_per_kilo_inst: apki,
@@ -330,7 +446,11 @@ mod tests {
         let read: HashSet<_> = Benchmark::ALL.iter().map(|b| b.read_class()).collect();
         let write: HashSet<_> = Benchmark::ALL.iter().map(|b| b.write_class()).collect();
         assert!(read.len() >= 2, "read classes degenerate: {read:?}");
-        assert_eq!(write.len(), 3, "write classes must span the grid: {write:?}");
+        assert_eq!(
+            write.len(),
+            3,
+            "write classes must span the grid: {write:?}"
+        );
     }
 
     #[test]

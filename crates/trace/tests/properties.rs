@@ -7,16 +7,16 @@ use trace_gen::{MemOp, ProfileParams, TraceGenerator};
 
 fn profile_strategy() -> impl Strategy<Value = ProfileParams> {
     (
-        1.0f64..200.0,       // accesses per kilo-instruction
-        0.0f64..=1.0,        // write fraction
-        0.0f64..=1.0,        // dependent fraction
-        0.0f64..0.5,         // hot fraction
-        1u64..10_000,        // hot blocks
-        0.0f64..0.4,         // warm fraction
-        1u64..50_000,        // warm blocks
-        0.0f64..=1.0,        // stream fraction
-        1u8..6,              // stream count
-        1024u64..1_000_000,  // footprint blocks
+        1.0f64..200.0,      // accesses per kilo-instruction
+        0.0f64..=1.0,       // write fraction
+        0.0f64..=1.0,       // dependent fraction
+        0.0f64..0.5,        // hot fraction
+        1u64..10_000,       // hot blocks
+        0.0f64..0.4,        // warm fraction
+        1u64..50_000,       // warm blocks
+        0.0f64..=1.0,       // stream fraction
+        1u8..6,             // stream count
+        1024u64..1_000_000, // footprint blocks
     )
         .prop_map(
             |(apki, wf, dep, hot_f, hot_b, warm_f, warm_b, stream_f, streams, footprint)| {

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     for row in [99u64, 100] {
         let dirty: Vec<u64> = dbi.row_dirty_blocks(row * granularity).collect();
-        println!("row {row}: {} dirty blocks must be written back before DMA reads it", dirty.len());
+        println!(
+            "row {row}: {} dirty blocks must be written back before DMA reads it",
+            dirty.len()
+        );
         // The memory controller would write them back, then clear:
         let flushed = dbi.flush_row(row * granularity).expect("row is tracked");
         assert_eq!(flushed.blocks().len(), dirty.len());

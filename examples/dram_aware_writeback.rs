@@ -61,7 +61,10 @@ fn main() {
     config.measure_insts = 2_000_000;
 
     let tadip = run_mix(&mix, &config);
-    config.mechanism = Mechanism::Dbi { awb: true, clb: false };
+    config.mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: false,
+    };
     let awb = run_mix(&mix, &config);
 
     println!("stream (write-intensive) on the full system:");

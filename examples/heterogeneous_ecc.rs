@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     let storage = CacheStorage::paper_cache(2 * 1024 * 1024);
     println!("2 MB LLC metadata accounting:");
-    for (label, ecc) in [("without ECC", EccMode::None), ("with ECC", EccMode::Secded)] {
+    for (label, ecc) in [
+        ("without ECC", EccMode::None),
+        ("with ECC", EccMode::Secded),
+    ] {
         let cmp = storage.compare(Alpha::QUARTER, 64, ecc);
         println!(
             "  {label:12} tag store {:>9} -> {:>9} bits  ({:+.1}%), whole cache {:+.1}%",
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let block = 3 * 64 + 5;
     let data = 0xDEAD_BEEF_0123_4567u64;
     ecc_store.mark_dirty(block, secded(data));
-    println!("block {block} dirtied: SECDED code {:#04x} stored in the DBI side-store", secded(data));
+    println!(
+        "block {block} dirtied: SECDED code {:#04x} stored in the DBI side-store",
+        secded(data)
+    );
 
     // A read of a *clean* block needs no correction state at all:
     assert_eq!(ecc_store.metadata(block + 1), None);

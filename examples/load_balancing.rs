@@ -15,10 +15,7 @@
 use dbi_repro::dram::{DramConfig, MemoryController};
 use dbi_repro::sim::dramcache::{Dispatch, DramCacheConfig, MostlyCleanDramCache};
 
-fn workload(
-    dc: &mut MostlyCleanDramCache,
-    mem: &mut MemoryController,
-) -> (f64, u64, u64, u64) {
+fn workload(dc: &mut MostlyCleanDramCache, mem: &mut MemoryController) -> (f64, u64, u64, u64) {
     // Warm the cache with a 1024-block working set, dirtying a quarter.
     for b in 0..1024u64 {
         let _ = dc.read(b, b * 10, mem);

@@ -27,7 +27,10 @@ fn main() {
     config.measure_insts = 2_000_000;
 
     let alone_ipc = run_alone(victim, &config).cores[0].ipc();
-    println!("{} alone on the {cores}-core machine: IPC {alone_ipc:.3}\n", victim.label());
+    println!(
+        "{} alone on the {cores}-core machine: IPC {alone_ipc:.3}\n",
+        victim.label()
+    );
 
     let alone_all: Vec<f64> = mix
         .benchmarks()
@@ -42,8 +45,14 @@ fn main() {
     for mechanism in [
         Mechanism::Baseline,
         Mechanism::Dawb,
-        Mechanism::Dbi { awb: true, clb: false },
-        Mechanism::Dbi { awb: true, clb: true },
+        Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
     ] {
         let mut c = config.clone();
         c.mechanism = mechanism;

@@ -56,10 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     system.llc_bytes_per_core = 512 * 1024; // small LLC so the demo is quick
 
     let baseline = run_mix(&mix, &system);
-    system.mechanism = Mechanism::Dbi { awb: true, clb: true };
+    system.mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    };
     let with_dbi = run_mix(&mix, &system);
 
-    println!("\nlbm on a 512 KB LLC ({} measured instructions):", baseline.total_insts());
+    println!(
+        "\nlbm on a 512 KB LLC ({} measured instructions):",
+        baseline.total_insts()
+    );
     println!(
         "  Baseline     IPC {:.3}, write row-hit rate {:.0}%",
         baseline.cores[0].ipc(),

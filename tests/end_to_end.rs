@@ -29,7 +29,12 @@ fn facade_exposes_the_whole_stack() {
     let mut generator = TraceGenerator::from_benchmark(Benchmark::Mcf, 1);
     let _ = generator.next_record();
     let storage = CacheStorage::paper_cache(2 * 1024 * 1024);
-    assert!(storage.compare(Alpha::QUARTER, 64, EccMode::Secded).tag_store_reduction() > 0.0);
+    assert!(
+        storage
+            .compare(Alpha::QUARTER, 64, EccMode::Secded)
+            .tag_store_reduction()
+            > 0.0
+    );
 }
 
 #[test]
@@ -58,11 +63,26 @@ fn paper_headline_shape_holds_in_miniature() {
     let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
     let tadip = run_mix(&mix, &small_config(1, Mechanism::TaDip));
     let dawb = run_mix(&mix, &small_config(1, Mechanism::Dawb));
-    let dbi = run_mix(&mix, &small_config(1, Mechanism::Dbi { awb: true, clb: true }));
+    let dbi = run_mix(
+        &mix,
+        &small_config(
+            1,
+            Mechanism::Dbi {
+                awb: true,
+                clb: true,
+            },
+        ),
+    );
 
     let rhr = |r: &dbi_repro::sim::MixResult| r.dram.write_row_hit_rate().unwrap_or(0.0);
-    assert!(rhr(&dbi) > rhr(&tadip), "AWB must lift the write row-hit rate");
-    assert!(rhr(&dawb) > rhr(&tadip), "DAWB must lift the write row-hit rate");
+    assert!(
+        rhr(&dbi) > rhr(&tadip),
+        "AWB must lift the write row-hit rate"
+    );
+    assert!(
+        rhr(&dawb) > rhr(&tadip),
+        "DAWB must lift the write row-hit rate"
+    );
     assert!(
         dbi.tag_lookups_pki() < dawb.tag_lookups_pki(),
         "the DBI probes only dirty blocks; DAWB probes whole rows"
@@ -73,7 +93,13 @@ fn paper_headline_shape_holds_in_miniature() {
 fn multiprogrammed_mixes_run_and_verify() {
     let mixes = generate_mixes(2, 3, 7);
     for mix in &mixes {
-        let config = small_config(2, Mechanism::Dbi { awb: true, clb: true });
+        let config = small_config(
+            2,
+            Mechanism::Dbi {
+                awb: true,
+                clb: true,
+            },
+        );
         let r = run_mix(mix, &config);
         assert_eq!(r.cores.len(), 2, "{mix}");
         assert!(r.check.expect("checker on").is_ok(), "{mix}");
@@ -86,7 +112,13 @@ fn dbi_size_bounds_dirty_blocks_in_system_context() {
     // Property 3 of the paper's introduction, observed from outside: with
     // alpha = 1/4, the DBI never reports more dirty blocks than a quarter
     // of the LLC.
-    let mut config = small_config(1, Mechanism::Dbi { awb: false, clb: false });
+    let mut config = small_config(
+        1,
+        Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        },
+    );
     config.check = false;
     let r = run_mix(&WorkloadMix::new(vec![Benchmark::Stream]), &config);
     let dbi_stats = r.dbi.expect("DBI stats present");

@@ -49,10 +49,16 @@ fn golden_mechanisms_are_distinct_and_stable() {
     // workload, and re-running must reproduce them exactly.
     let a1 = fingerprint(Mechanism::Baseline);
     let b1 = fingerprint(Mechanism::Dawb);
-    let c1 = fingerprint(Mechanism::Dbi { awb: true, clb: true });
+    let c1 = fingerprint(Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    });
     let a2 = fingerprint(Mechanism::Baseline);
     let b2 = fingerprint(Mechanism::Dawb);
-    let c2 = fingerprint(Mechanism::Dbi { awb: true, clb: true });
+    let c2 = fingerprint(Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    });
     assert_eq!(a1, a2);
     assert_eq!(b1, b2);
     assert_eq!(c1, c2);
