@@ -182,8 +182,13 @@ where
         return items.iter().map(f).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots = std::sync::Mutex::new(&mut results);
+    // One mutex per result slot: workers write disjoint slots without ever
+    // contending on a shared collection (a single global lock would
+    // serialize result publication — and poison every slot if any worker
+    // panicked while holding it).
+    let slots: Vec<std::sync::Mutex<Option<R>>> = (0..items.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -192,13 +197,17 @@ where
                     break;
                 }
                 let r = f(&items[i]);
-                slots.lock().expect("no panics while mapping")[i] = Some(r);
+                *slots[i].lock().expect("slot lock never poisoned") = Some(r);
             });
         }
     });
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -302,5 +311,40 @@ mod tests {
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker deliberately panicked")]
+    fn parallel_map_propagates_worker_panics() {
+        // A panicking closure must surface at the call site (via scoped-
+        // thread join), not deadlock or silently drop the item.
+        let items: Vec<u64> = (0..64).collect();
+        let _ = parallel_map(&items, |&x| {
+            assert!(x != 13, "worker deliberately panicked");
+            x
+        });
+    }
+
+    #[test]
+    fn parallel_map_handles_many_more_items_than_threads() {
+        // Far more items than any machine has cores: every slot must be
+        // filled exactly once through the shared work queue.
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = parallel_map(&items, |&x| x.wrapping_mul(2_654_435_761));
+        assert_eq!(out.len(), items.len());
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64).wrapping_mul(2_654_435_761));
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_tsv_rows() {
+        // The experiment binaries build TSV rows through parallel_map;
+        // parallelism must never change what gets written.
+        let items: Vec<(usize, f64)> = (0..500).map(|i| (i, i as f64 * 0.25)).collect();
+        let render = |&(i, v): &(usize, f64)| vec![format!("mix{i}"), format!("{v:.3}"), pct(v)];
+        let serial: Vec<Vec<String>> = items.iter().map(render).collect();
+        let parallel = parallel_map(&items, render);
+        assert_eq!(parallel, serial);
     }
 }

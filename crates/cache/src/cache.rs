@@ -214,6 +214,9 @@ const RRPV_LONG: i64 = 2;
 pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,
+    /// `sets() - 1` when the set count is a power of two (the common
+    /// geometry), letting [`set_of`](Cache::set_of) mask instead of divide.
+    set_mask: Option<u64>,
     clock: i64,
     /// Decrementing counter handing out "older than everything" timestamps
     /// for LRU-position (LIP/bimodal) insertions: the newest such insertion
@@ -227,9 +230,11 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let lines = vec![INVALID; config.blocks() as usize];
+        let sets = config.sets();
         Cache {
             config,
             lines,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             clock: 0,
             low_clock: 0,
             stats: CacheStats::default(),
@@ -245,7 +250,10 @@ impl Cache {
     /// Set index of `block`.
     #[must_use]
     pub fn set_of(&self, block: BlockAddr) -> u64 {
-        block % self.config.sets()
+        match self.set_mask {
+            Some(mask) => block & mask,
+            None => block % self.config.sets(),
+        }
     }
 
     fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
@@ -255,8 +263,12 @@ impl Cache {
     }
 
     fn find(&self, block: BlockAddr) -> Option<usize> {
-        self.set_range(block)
-            .find(|&i| self.lines[i].valid && self.lines[i].block == block)
+        let range = self.set_range(block);
+        let base = range.start;
+        self.lines[range]
+            .iter()
+            .position(|l| l.valid && l.block == block)
+            .map(|way| base + way)
     }
 
     /// Probes for `block` without updating replacement state or stats
@@ -375,6 +387,29 @@ impl Cache {
         self.find(block).map(|i| self.lines[i].dirty)
     }
 
+    /// Tag dirty bit and owning thread of `block` in one probe; `None` if
+    /// not resident. Equivalent to [`is_dirty`](Cache::is_dirty) +
+    /// [`owner`](Cache::owner) without the second tag scan — the query a
+    /// row sweep makes once per co-row block.
+    #[must_use]
+    pub fn dirty_owner(&self, block: BlockAddr) -> Option<(bool, ThreadId)> {
+        self.find(block)
+            .map(|i| (self.lines[i].dirty, self.lines[i].thread))
+    }
+
+    /// Tag dirty bit, owning thread, and recency rank of `block` in one
+    /// probe; `None` if not resident. The query bundle a recency-filtered
+    /// sweep (VWQ) makes per candidate block.
+    #[must_use]
+    pub fn probe_line(&self, block: BlockAddr) -> Option<(bool, ThreadId, usize)> {
+        let range = self.set_range(block);
+        let base = range.start;
+        let set = &self.lines[range];
+        let way = self.find(block)? - base;
+        let line = &set[way];
+        Some((line.dirty, line.thread, self.rank_in_set(set, way)))
+    }
+
     /// Thread that inserted `block`; `None` if not resident.
     #[must_use]
     pub fn owner(&self, block: BlockAddr) -> Option<ThreadId> {
@@ -400,18 +435,31 @@ impl Cache {
     /// whether a set holds dirty blocks in its low recency ranks.
     #[must_use]
     pub fn lru_rank(&self, block: BlockAddr) -> Option<usize> {
-        let i = self.find(block)?;
-        let rank = self
-            .set_range(block)
-            .filter(|&j| j != i && self.lines[j].valid)
-            .filter(|&j| match self.config.replacement {
-                // Older timestamps are closer to eviction.
-                ReplacementKind::Lru => self.lines[j].meta < self.lines[i].meta,
-                // Higher RRPVs are closer to eviction.
-                ReplacementKind::Rrip => self.lines[j].meta > self.lines[i].meta,
+        let range = self.set_range(block);
+        let base = range.start;
+        let set = &self.lines[range];
+        let way = self.find(block)? - base;
+        Some(self.rank_in_set(set, way))
+    }
+
+    /// Recency rank of the valid line at index `way` of the set slice `set`:
+    /// the number of *other* valid lines closer to eviction, under the
+    /// configured replacement order.
+    fn rank_in_set(&self, set: &[Line], way: usize) -> usize {
+        let meta = set[way].meta;
+        set.iter()
+            .enumerate()
+            .filter(|&(j, other)| {
+                j != way
+                    && other.valid
+                    && match self.config.replacement {
+                        // Older timestamps are closer to eviction.
+                        ReplacementKind::Lru => other.meta < meta,
+                        // Higher RRPVs are closer to eviction.
+                        ReplacementKind::Rrip => other.meta > meta,
+                    }
             })
-            .count();
-        Some(rank)
+            .count()
     }
 
     /// Dirty blocks of the set containing `set_probe` whose recency rank is
@@ -419,14 +467,31 @@ impl Cache {
     /// would harvest from this set.
     #[must_use]
     pub fn dirty_in_lru_ways(&self, set_probe: BlockAddr, ways_from_lru: usize) -> Vec<BlockAddr> {
-        let mut out: Vec<BlockAddr> = self
-            .set_range(set_probe)
-            .filter(|&i| self.lines[i].valid && self.lines[i].dirty)
-            .map(|i| self.lines[i].block)
-            .filter(|&b| self.lru_rank(b).is_some_and(|r| r < ways_from_lru))
+        let set = &self.lines[self.set_range(set_probe)];
+        let mut out: Vec<BlockAddr> = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid && l.dirty)
+            .filter(|&(i, _)| self.rank_in_set(set, i) < ways_from_lru)
+            .map(|(_, l)| l.block)
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Whether the set containing `set_probe` holds any dirty block whose
+    /// recency rank is below `ways_from_lru` — exactly
+    /// `!dirty_in_lru_ways(probe, n).is_empty()`, but allocation-free.
+    ///
+    /// This is the query a Set State Vector refresh needs, and it runs on
+    /// every writeback and fill under the Virtual Write Queue, so it must
+    /// not allocate.
+    #[must_use]
+    pub fn has_dirty_in_lru_ways(&self, set_probe: BlockAddr, ways_from_lru: usize) -> bool {
+        let set = &self.lines[self.set_range(set_probe)];
+        set.iter()
+            .enumerate()
+            .any(|(i, l)| l.valid && l.dirty && self.rank_in_set(set, i) < ways_from_lru)
     }
 
     /// Iterates over all resident blocks as `(block, dirty, thread)`.

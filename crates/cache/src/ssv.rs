@@ -62,7 +62,9 @@ impl SetStateVector {
     /// current contents, returning the new value.
     pub fn refresh(&mut self, cache: &Cache, probe: BlockAddr) -> bool {
         let set = cache.set_of(probe);
-        let marked = !cache.dirty_in_lru_ways(probe, self.tracked_ways).is_empty();
+        // Existence is all the bit needs; the allocation-free query keeps
+        // this off the heap (it runs on every writeback and fill).
+        let marked = cache.has_dirty_in_lru_ways(probe, self.tracked_ways);
         self.bits[set as usize] = marked;
         marked
     }

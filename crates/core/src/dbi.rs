@@ -139,6 +139,29 @@ impl Dbi {
     /// is evicted; the returned [`MarkOutcome::evicted`] then carries the
     /// blocks whose writebacks the eviction forces.
     pub fn mark_dirty(&mut self, block: BlockAddr) -> MarkOutcome {
+        let mut blocks = Vec::new();
+        let (newly_dirty, evicted_row) = self.mark_dirty_core(block, &mut blocks);
+        MarkOutcome {
+            newly_dirty,
+            evicted: evicted_row.map(|row| EvictedRow { row, blocks }),
+        }
+    }
+
+    /// Allocation-free variant of [`mark_dirty`](Dbi::mark_dirty) for hot
+    /// paths: eviction-forced writebacks are appended (ascending) to
+    /// `writebacks` instead of being returned in a fresh [`EvictedRow`].
+    /// Returns whether the block transitioned clean → dirty.
+    pub fn mark_dirty_into(&mut self, block: BlockAddr, writebacks: &mut Vec<BlockAddr>) -> bool {
+        self.mark_dirty_core(block, writebacks).0
+    }
+
+    /// Shared implementation: `(newly_dirty, evicted row)`; eviction
+    /// writebacks are appended to `writebacks`.
+    fn mark_dirty_core(
+        &mut self,
+        block: BlockAddr,
+        writebacks: &mut Vec<BlockAddr>,
+    ) -> (bool, Option<RowId>) {
         self.stats.mark_requests += 1;
         let row = self.row_of(block);
         let offset = self.offset_of(block);
@@ -154,54 +177,43 @@ impl Dbi {
                 self.dirty_blocks += 1;
             }
             set.policy.on_write_hit(way);
-            return MarkOutcome {
-                newly_dirty: newly,
-                evicted: None,
-            };
+            return (newly, None);
         }
 
         // Row miss: install a new entry, evicting if the set is full.
         let granularity = self.config.granularity();
-        let set = &mut self.sets[set_idx];
-        let (way, evicted) = match set.ways.iter().position(Option::is_none) {
+        let Set { ways, policy } = &mut self.sets[set_idx];
+        let (way, evicted) = match ways.iter().position(Option::is_none) {
             Some(free) => (free, None),
             None => {
-                let candidates: Vec<usize> = (0..set.ways.len()).collect();
-                let dirty_counts: Vec<usize> = set
-                    .ways
-                    .iter()
-                    .map(|w| w.as_ref().map_or(0, |e| e.bits.count()))
-                    .collect();
-                let victim = set.policy.victim(&candidates, &dirty_counts);
-                let old = set.ways[victim].take().expect("full set has valid victim");
+                let victim = policy.victim_from(0..ways.len(), |w| {
+                    ways[w].as_ref().map_or(0, |e| e.bits.count())
+                });
+                let old = ways[victim].take().expect("full set has valid victim");
                 (victim, Some(old))
             }
         };
 
         let mut bits = DirtyVec::new(granularity);
         bits.set(offset);
-        set.ways[way] = Some(Entry { row, bits });
-        set.policy.on_insert(way);
+        ways[way] = Some(Entry { row, bits });
+        policy.on_insert(way);
         self.stats.entry_insertions += 1;
         self.stats.bits_set += 1;
         self.dirty_blocks += 1;
 
-        let evicted = evicted.map(|old| {
+        let evicted_row = evicted.map(|old| {
             let base = old.row * granularity as u64;
-            let blocks: Vec<BlockAddr> = old.bits.iter_ones().map(|o| base + o as u64).collect();
+            let before = writebacks.len();
+            writebacks.extend(old.bits.iter_ones().map(|o| base + o as u64));
+            let count = (writebacks.len() - before) as u64;
             self.stats.entry_evictions += 1;
-            self.stats.eviction_writebacks += blocks.len() as u64;
-            self.dirty_blocks -= blocks.len() as u64;
-            EvictedRow {
-                row: old.row,
-                blocks,
-            }
+            self.stats.eviction_writebacks += count;
+            self.dirty_blocks -= count;
+            old.row
         });
 
-        MarkOutcome {
-            newly_dirty: true,
-            evicted,
-        }
+        (true, evicted_row)
     }
 
     /// Returns whether `block` is dirty — the query every optimization in

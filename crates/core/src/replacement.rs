@@ -148,34 +148,53 @@ impl PolicyState {
     ///
     /// Panics if `candidates` is empty (the DBI only asks for a victim when
     /// the set is full).
+    #[cfg(test)]
     pub(crate) fn victim(&mut self, candidates: &[usize], dirty_counts: &[usize]) -> usize {
-        assert!(!candidates.is_empty(), "victim() requires candidates");
+        self.victim_from(candidates.iter().copied(), |w| dirty_counts[w])
+    }
+
+    /// [`victim`](PolicyState::victim) over an iterator of candidate ways
+    /// and a dirty-count accessor — lets the hot path rank a full set
+    /// (`0..ways`) without materializing candidate or count vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub(crate) fn victim_from<I>(
+        &mut self,
+        candidates: I,
+        dirty_count: impl Fn(usize) -> usize,
+    ) -> usize
+    where
+        I: Iterator<Item = usize> + Clone,
+    {
+        assert!(
+            candidates.clone().next().is_some(),
+            "victim() requires candidates"
+        );
         match self.policy {
-            DbiReplacementPolicy::Lrw | DbiReplacementPolicy::LrwBip => *candidates
-                .iter()
-                .min_by_key(|&&w| self.meta[w])
-                .expect("nonempty"),
+            DbiReplacementPolicy::Lrw | DbiReplacementPolicy::LrwBip => {
+                candidates.min_by_key(|&w| self.meta[w]).expect("nonempty")
+            }
             DbiReplacementPolicy::Rwip => {
                 // Age until some candidate reaches the distant value.
                 loop {
-                    if let Some(&w) = candidates.iter().find(|&&w| self.meta[w] >= RWIP_MAX) {
+                    if let Some(w) = candidates.clone().find(|&w| self.meta[w] >= RWIP_MAX) {
                         return w;
                     }
-                    for &w in candidates {
+                    for w in candidates.clone() {
                         self.meta[w] += 1;
                     }
                 }
             }
             DbiReplacementPolicy::MaxDirty => {
-                *candidates
-                    .iter()
+                candidates
                     // max dirty count; break ties toward least recently written
-                    .max_by_key(|&&w| (dirty_counts[w], std::cmp::Reverse(self.meta[w])))
+                    .max_by_key(|&w| (dirty_count(w), std::cmp::Reverse(self.meta[w])))
                     .expect("nonempty")
             }
-            DbiReplacementPolicy::MinDirty => *candidates
-                .iter()
-                .min_by_key(|&&w| (dirty_counts[w], self.meta[w]))
+            DbiReplacementPolicy::MinDirty => candidates
+                .min_by_key(|&w| (dirty_count(w), self.meta[w]))
                 .expect("nonempty"),
         }
     }

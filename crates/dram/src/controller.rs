@@ -142,6 +142,22 @@ pub struct MemoryController {
     stats: DramStats,
     energy: DramEnergy,
     last_accrual: Cycle,
+    /// Reusable drain working set, so the per-drain scheduling pass does
+    /// not allocate.
+    scratch: DrainScratch,
+}
+
+/// Reusable buffers for [`MemoryController::drain_writes`].
+#[derive(Debug, Clone, Default)]
+struct DrainScratch {
+    /// Writes pulled from a channel's buffer for the current drain.
+    writes: Vec<BlockAddr>,
+    /// Per-bank `(row, block)` queues, row-grouped.
+    queues: Vec<Vec<(u64, BlockAddr)>>,
+    /// Per-bank cursor into `queues`.
+    cursors: Vec<usize>,
+    /// Per-bank next-CAS clock for the drain in progress.
+    bank_clock: Vec<Cycle>,
 }
 
 impl MemoryController {
@@ -167,6 +183,7 @@ impl MemoryController {
             stats: DramStats::default(),
             energy: DramEnergy::default(),
             last_accrual: 0,
+            scratch: DrainScratch::default(),
         }
     }
 
@@ -277,8 +294,11 @@ impl MemoryController {
         match self.config.drain_policy {
             DrainPolicy::WhenFull => {
                 if self.channels[c].write_buffer.push(block) {
-                    let writes = self.channels[c].write_buffer.drain();
-                    self.drain_writes(c, writes, now);
+                    let mut writes = std::mem::take(&mut self.scratch.writes);
+                    writes.clear();
+                    self.channels[c].write_buffer.drain_into(&mut writes);
+                    self.drain_writes(c, &writes, now);
+                    self.scratch.writes = writes;
                 }
             }
             DrainPolicy::Watermark { high, low } => {
@@ -287,8 +307,13 @@ impl MemoryController {
                 let buffer = &mut self.channels[c].write_buffer;
                 if buffer.len() >= high.min(buffer.capacity()) {
                     let n = buffer.len().saturating_sub(low);
-                    let writes = buffer.drain_oldest(n);
-                    self.drain_writes(c, writes, now);
+                    let mut writes = std::mem::take(&mut self.scratch.writes);
+                    writes.clear();
+                    self.channels[c]
+                        .write_buffer
+                        .drain_oldest_into(n, &mut writes);
+                    self.drain_writes(c, &writes, now);
+                    self.scratch.writes = writes;
                 }
             }
         }
@@ -299,15 +324,18 @@ impl MemoryController {
     pub fn drain(&mut self, now: Cycle) -> Cycle {
         let mut end = now;
         for c in 0..self.channels.len() {
-            let writes = self.channels[c].write_buffer.drain();
-            end = end.max(self.drain_writes(c, writes, now));
+            let mut writes = std::mem::take(&mut self.scratch.writes);
+            writes.clear();
+            self.channels[c].write_buffer.drain_into(&mut writes);
+            end = end.max(self.drain_writes(c, &writes, now));
+            self.scratch.writes = writes;
         }
         end
     }
 
     /// Services a batch of writes on channel `c` (FR-FCFS row grouping,
     /// round-robin across banks).
-    fn drain_writes(&mut self, c: usize, writes: Vec<BlockAddr>, now: Cycle) -> Cycle {
+    fn drain_writes(&mut self, c: usize, writes: &[BlockAddr], now: Cycle) -> Cycle {
         if writes.is_empty() {
             return now.max(self.channels[c].bus_free);
         }
@@ -322,8 +350,12 @@ impl MemoryController {
         // Per-bank queues, row-grouped: the order an FR-FCFS write scheduler
         // converges to (all hits to an open row before switching rows).
         let nbanks = self.channels[c].banks.len();
-        let mut queues: Vec<Vec<(u64, BlockAddr)>> = vec![Vec::new(); nbanks];
-        for w in writes {
+        let mut queues = std::mem::take(&mut self.scratch.queues);
+        queues.resize_with(nbanks, Vec::new);
+        for q in &mut queues {
+            q.clear();
+        }
+        for &w in writes {
             let route = self.route(w);
             debug_assert_eq!(route.channel, c, "write routed to the wrong channel");
             queues[route.bank].push((route.row, w));
@@ -334,13 +366,13 @@ impl MemoryController {
 
         // Round-robin across banks so activates overlap other banks\' bursts.
         let ch = &mut self.channels[c];
-        let mut cursors = vec![0usize; nbanks];
+        let mut cursors = std::mem::take(&mut self.scratch.cursors);
+        cursors.clear();
+        cursors.resize(nbanks, 0);
         let mut remaining: usize = queues.iter().map(Vec::len).sum();
-        let mut bank_clock: Vec<Cycle> = ch
-            .banks
-            .iter()
-            .map(|b| b.cas_ready.max(drain_start))
-            .collect();
+        let mut bank_clock = std::mem::take(&mut self.scratch.bank_clock);
+        bank_clock.clear();
+        bank_clock.extend(ch.banks.iter().map(|b| b.cas_ready.max(drain_start)));
         let mut next_bank = 0;
         let mut activates = 0u64;
         while remaining > 0 {
@@ -397,6 +429,9 @@ impl MemoryController {
             .map(|ch| ch.write_buffer.coalesced())
             .sum();
         self.channels[c].last_was_write = true;
+        self.scratch.queues = queues;
+        self.scratch.cursors = cursors;
+        self.scratch.bank_clock = bank_clock;
         self.channels[c].bus_free
     }
 

@@ -70,16 +70,32 @@ impl WriteBuffer {
 
     /// Removes and returns all pending writes in arrival order.
     pub fn drain(&mut self) -> Vec<BlockAddr> {
-        std::mem::take(&mut self.pending)
+        let mut out = Vec::with_capacity(self.pending.len());
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Appends all pending writes to `out` in arrival order and clears the
+    /// buffer in place — the allocation-free drain the controller's hot
+    /// path uses (the buffer keeps its capacity for the next fill).
+    pub fn drain_into(&mut self, out: &mut Vec<BlockAddr>) {
+        out.append(&mut self.pending);
     }
 
     /// Removes and returns the `n` oldest pending writes (all of them if
     /// fewer are pending), preserving arrival order — the partial drain a
     /// watermark policy performs.
     pub fn drain_oldest(&mut self, n: usize) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        self.drain_oldest_into(n, &mut out);
+        out
+    }
+
+    /// [`drain_oldest`](WriteBuffer::drain_oldest) into a caller-provided
+    /// buffer, allocation-free.
+    pub fn drain_oldest_into(&mut self, n: usize, out: &mut Vec<BlockAddr>) {
         let n = n.min(self.pending.len());
-        let rest = self.pending.split_off(n);
-        std::mem::replace(&mut self.pending, rest)
+        out.extend(self.pending.drain(..n));
     }
 
     /// Number of distinct blocks pending.

@@ -54,6 +54,9 @@ pub(crate) struct CoreEngine {
     /// Trace records executed (one per [`CoreEngine::step`] call), the unit
     /// the perf-baseline harness reports throughput in.
     pub(crate) records: u64,
+    /// Reusable buffer for L2-DBI eviction sweeps, so per-eviction sweeps
+    /// do not allocate.
+    l2_sweep_scratch: Vec<u64>,
 }
 
 impl CoreEngine {
@@ -95,6 +98,7 @@ impl CoreEngine {
             llc_reads: 0,
             llc_read_misses: 0,
             records: 0,
+            l2_sweep_scratch: Vec::new(),
         }
     }
 
@@ -324,14 +328,17 @@ impl CoreEngine {
             dram,
             checker.as_deref_mut(),
         );
-        let co_dirty: Vec<u64> = dbi.row_dirty_blocks(victim).collect();
-        for b in co_dirty {
+        let mut co_dirty = std::mem::take(&mut self.l2_sweep_scratch);
+        co_dirty.clear();
+        co_dirty.extend(dbi.row_dirty_blocks(victim));
+        for &b in &co_dirty {
             self.l2_dbi
                 .as_mut()
                 .expect("L2 DBI organization")
                 .clear_dirty(b);
             llc.writeback(b, self.thread, self.cycle, dram, checker.as_deref_mut());
         }
+        self.l2_sweep_scratch = co_dirty;
     }
 
     #[cfg(test)]

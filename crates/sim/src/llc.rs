@@ -85,6 +85,11 @@ pub struct SharedLlc {
     demand_port_free: u64,
     /// Next cycle the tag port is free of all probes (demand + sweeps).
     port_free: u64,
+    /// Reusable buffer for AWB sweep targets, so per-eviction sweeps do not
+    /// allocate.
+    sweep_scratch: Vec<u64>,
+    /// Reusable buffer for DBI-eviction writeback targets.
+    dbi_evict_scratch: Vec<u64>,
     stats: LlcStats,
 }
 
@@ -146,6 +151,8 @@ impl SharedLlc {
             dram_row_blocks: u64::from(config.dram.mapping.blocks_per_row()),
             demand_port_free: 0,
             port_free: 0,
+            sweep_scratch: Vec::new(),
+            dbi_evict_scratch: Vec::new(),
             stats: LlcStats {
                 dram_writes_per_core: vec![0; threads],
                 ..LlcStats::default()
@@ -419,9 +426,8 @@ impl SharedLlc {
                 continue;
             }
             let t = self.occupy_tag_port_background(now);
-            if self.cache.is_dirty(b) == Some(true) {
+            if let Some((true, owner)) = self.cache.dirty_owner(b) {
                 self.cache.set_dirty(b, false);
-                let owner = self.cache.owner(b).unwrap_or(0);
                 self.write_dram(b, owner, t, dram, checker.as_deref_mut());
                 self.stats.sweep_writebacks += 1;
             }
@@ -453,13 +459,13 @@ impl SharedLlc {
                 continue; // SSV check is free; no tag probe
             }
             let t = self.occupy_tag_port_background(now);
-            let in_lru_ways = self.cache.lru_rank(b).is_some_and(|r| r < tracked);
-            if in_lru_ways && self.cache.is_dirty(b) == Some(true) {
-                self.cache.set_dirty(b, false);
-                let owner = self.cache.owner(b).unwrap_or(0);
-                self.write_dram(b, owner, t, dram, checker.as_deref_mut());
-                self.stats.sweep_writebacks += 1;
-                self.ssv_refresh(b);
+            if let Some((true, owner, rank)) = self.cache.probe_line(b) {
+                if rank < tracked {
+                    self.cache.set_dirty(b, false);
+                    self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+                    self.stats.sweep_writebacks += 1;
+                    self.ssv_refresh(b);
+                }
             }
         }
     }
@@ -488,9 +494,15 @@ impl SharedLlc {
                 return;
             }
         }
-        let dbi = self.dbi.as_ref().expect("DBI mechanism");
-        let co_dirty: Vec<u64> = dbi.row_dirty_blocks(evicted).collect();
-        for b in co_dirty {
+        let mut co_dirty = std::mem::take(&mut self.sweep_scratch);
+        co_dirty.clear();
+        co_dirty.extend(
+            self.dbi
+                .as_ref()
+                .expect("DBI mechanism")
+                .row_dirty_blocks(evicted),
+        );
+        for &b in &co_dirty {
             let t = self.occupy_tag_port_background(now);
             debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
             let owner = self.cache.owner(b).unwrap_or(thread);
@@ -498,6 +510,7 @@ impl SharedLlc {
             self.dbi.as_mut().expect("DBI mechanism").clear_dirty(b);
             self.stats.sweep_writebacks += 1;
         }
+        self.sweep_scratch = co_dirty;
     }
 
     /// Receives a writeback of `block` from the level above (paper Section
@@ -537,19 +550,23 @@ impl SharedLlc {
                         checker.as_deref_mut(),
                     );
                 }
-                let outcome = self.dbi.as_mut().expect("DBI mechanism").mark_dirty(block);
-                if let Some(evicted) = outcome.evicted {
-                    // DBI eviction: write back everything the entry marked;
-                    // the blocks stay resident and become clean
-                    // (paper Section 2.2.4).
-                    for &b in evicted.blocks() {
-                        let t = self.occupy_tag_port_background(now);
-                        debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
-                        let owner = self.cache.owner(b).unwrap_or(thread);
-                        self.write_dram(b, owner, t, dram, checker.as_deref_mut());
-                        self.stats.dbi_eviction_writebacks += 1;
-                    }
+                let mut evicted = std::mem::take(&mut self.dbi_evict_scratch);
+                evicted.clear();
+                self.dbi
+                    .as_mut()
+                    .expect("DBI mechanism")
+                    .mark_dirty_into(block, &mut evicted);
+                // DBI eviction: write back everything the entry marked; the
+                // blocks stay resident and become clean (paper Section
+                // 2.2.4).
+                for &b in &evicted {
+                    let t = self.occupy_tag_port_background(now);
+                    debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
+                    let owner = self.cache.owner(b).unwrap_or(thread);
+                    self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+                    self.stats.dbi_eviction_writebacks += 1;
                 }
+                self.dbi_evict_scratch = evicted;
             }
             _ => {
                 if self.cache.touch(block) {
