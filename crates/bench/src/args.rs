@@ -1,0 +1,242 @@
+//! Command-line arguments shared by every experiment binary.
+//!
+//! Each binary parses its process arguments exactly once into a
+//! [`BenchArgs`] via [`BenchArgs::parse`]. Unknown flags are a hard error
+//! with usage text — the old behaviour of scanning the argument list for
+//! known flags and silently ignoring the rest hid typos like `--ful` or
+//! `--outdir` behind a default-effort run.
+//!
+//! The flag spellings (`--quick`, `--full`, `--seeds`, `--out-dir`) are
+//! unchanged from the pre-`BenchArgs` harness, so `run_all.sh` and CI
+//! invocations keep working verbatim.
+
+use std::path::PathBuf;
+
+use crate::{workspace_root, Effort};
+
+/// Usage text printed on `--help` and on any parse error.
+const USAGE: &str = "\
+Common options for every dbi-bench experiment binary:
+    --quick           smoke-test effort (CI scale)
+    --full            the paper's own workload counts (102/259/120 mixes)
+    --seeds N         average runs over N trace seeds (default 1)
+    --out-dir PATH    machine-readable output directory (default results/
+                      under the workspace root)
+    --cache-dir PATH  persistent result-store directory (default
+                      results/.cache/ under the workspace root)
+    --no-cache        disable the persistent result store entirely
+                      (every unit simulates, nothing is written back)
+    --jobs N          worker threads for the experiment runner
+                      (default: all available cores)
+    --help            print this help
+";
+
+/// Parsed command-line arguments of an experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Effort level (`--quick` / default / `--full`).
+    pub effort: Effort,
+    /// Trace-seed replication count (`--seeds N`, default 1).
+    pub seeds: u64,
+    /// Output directory override (`--out-dir PATH`).
+    pub out_dir: Option<PathBuf>,
+    /// Result-store directory override (`--cache-dir PATH`).
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the persistent result store (`--no-cache`).
+    pub no_cache: bool,
+    /// Worker-thread override for the runner (`--jobs N`).
+    pub jobs: Option<usize>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            effort: Effort::Default,
+            seeds: 1,
+            out_dir: None,
+            cache_dir: None,
+            no_cache: false,
+            jobs: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process arguments, exiting with usage text on any
+    /// unknown flag, missing value, or malformed number.
+    #[must_use]
+    pub fn parse() -> BenchArgs {
+        Self::parse_with(&[]).0
+    }
+
+    /// Like [`BenchArgs::parse`], but additionally accepts the given
+    /// binary-specific value flags (e.g. `perf_baseline`'s `--out PATH`).
+    /// Returns the matched `(flag, value)` pairs alongside the common
+    /// arguments.
+    #[must_use]
+    pub fn parse_with(extra_value_flags: &[&str]) -> (BenchArgs, Vec<(String, String)>) {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&argv, extra_value_flags) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                let bin = std::env::args()
+                    .next()
+                    .map(|p| {
+                        PathBuf::from(p).file_name().map_or_else(
+                            || "experiment".to_string(),
+                            |n| n.to_string_lossy().into_owned(),
+                        )
+                    })
+                    .unwrap_or_else(|| "experiment".to_string());
+                eprintln!("{bin}: {e}\n\nUSAGE:\n    {bin} [OPTIONS]\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The fallible core of [`BenchArgs::parse_with`], separated for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first unknown flag, missing value,
+    /// or malformed number. `--help` is also surfaced as `Err` (carrying
+    /// the usage text) so callers never continue past it.
+    pub fn try_parse(
+        argv: &[String],
+        extra_value_flags: &[&str],
+    ) -> Result<(BenchArgs, Vec<(String, String)>), String> {
+        let mut args = BenchArgs::default();
+        let mut extras = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--quick" => args.effort = Effort::Quick,
+                "--full" => args.effort = Effort::Full,
+                "--seeds" => {
+                    let v = value("--seeds")?;
+                    args.seeds =
+                        v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--seeds needs a positive integer, got '{v}'")
+                        })?;
+                }
+                "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
+                "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--no-cache" => args.no_cache = true,
+                "--jobs" => {
+                    let v = value("--jobs")?;
+                    args.jobs =
+                        Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs needs a positive integer, got '{v}'")
+                        })?);
+                }
+                "--help" | "-h" => return Err(format!("usage requested\n\n{USAGE}")),
+                other if extra_value_flags.contains(&other) => {
+                    extras.push((other.to_string(), value(other)?));
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok((args, extras))
+    }
+
+    /// Directory for machine-readable outputs: `--out-dir` if given,
+    /// otherwise `results/` under the workspace root.
+    #[must_use]
+    pub fn results_dir(&self) -> PathBuf {
+        self.out_dir
+            .clone()
+            .unwrap_or_else(|| workspace_root().join("results"))
+    }
+
+    /// Directory of the persistent result store: `--cache-dir` if given,
+    /// otherwise `results/.cache/` under the workspace root. `None` when
+    /// `--no-cache` disables the store.
+    #[must_use]
+    pub fn store_dir(&self) -> Option<PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        Some(
+            self.cache_dir
+                .clone()
+                .unwrap_or_else(|| workspace_root().join("results").join(".cache")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let (args, extras) = BenchArgs::try_parse(&[], &[]).unwrap();
+        assert_eq!(args, BenchArgs::default());
+        assert!(extras.is_empty());
+        assert!(args.results_dir().ends_with("results"));
+        assert!(args.store_dir().unwrap().ends_with("results/.cache"));
+    }
+
+    #[test]
+    fn historical_spellings_parse() {
+        let (args, _) = BenchArgs::try_parse(
+            &argv(&["--quick", "--seeds", "3", "--out-dir", "/tmp/r"]),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(args.effort, Effort::Quick);
+        assert_eq!(args.seeds, 3);
+        assert_eq!(args.results_dir(), PathBuf::from("/tmp/r"));
+
+        let (args, _) = BenchArgs::try_parse(&argv(&["--full"]), &[]).unwrap();
+        assert_eq!(args.effort, Effort::Full);
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let (args, _) =
+            BenchArgs::try_parse(&argv(&["--cache-dir", "/tmp/c", "--jobs", "4"]), &[]).unwrap();
+        assert_eq!(args.store_dir(), Some(PathBuf::from("/tmp/c")));
+        assert_eq!(args.jobs, Some(4));
+
+        let (args, _) = BenchArgs::try_parse(&argv(&["--no-cache"]), &[]).unwrap();
+        assert_eq!(args.store_dir(), None);
+    }
+
+    #[test]
+    fn unknown_flags_are_hard_errors() {
+        assert!(BenchArgs::try_parse(&argv(&["--ful"]), &[])
+            .unwrap_err()
+            .contains("unknown flag '--ful'"));
+        assert!(BenchArgs::try_parse(&argv(&["quick"]), &[]).is_err());
+        assert!(BenchArgs::try_parse(&argv(&["--seeds"]), &[])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(BenchArgs::try_parse(&argv(&["--seeds", "0"]), &[])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(BenchArgs::try_parse(&argv(&["--jobs", "x"]), &[]).is_err());
+    }
+
+    #[test]
+    fn extra_value_flags_are_binary_specific() {
+        let (args, extras) =
+            BenchArgs::try_parse(&argv(&["--quick", "--out", "/tmp/x.json"]), &["--out"]).unwrap();
+        assert_eq!(args.effort, Effort::Quick);
+        assert_eq!(
+            extras,
+            vec![("--out".to_string(), "/tmp/x.json".to_string())]
+        );
+        // ...and rejected everywhere else.
+        assert!(BenchArgs::try_parse(&argv(&["--out", "/tmp/x.json"]), &[]).is_err());
+    }
+}

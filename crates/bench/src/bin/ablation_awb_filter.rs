@@ -10,30 +10,14 @@
 //! Usage: `cargo run --release -p dbi-bench --bin ablation_awb_filter
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{run_mix, Mechanism, SystemConfig};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::Mechanism;
 use trace_gen::Benchmark;
 
-fn run(bench: Benchmark, effort: Effort, filter: bool) -> (f64, f64, Option<(u64, u64)>) {
-    let mut config: SystemConfig = config_for(
-        1,
-        Mechanism::Dbi {
-            awb: true,
-            clb: false,
-        },
-        effort,
-    );
-    config.awb_rewrite_filter = filter;
-    let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
-    let stats = r
-        .rewrite_filter
-        .map(|f| (f.suppressed_sweeps, f.allowed_sweeps));
-    (r.cores[0].ipc(), r.wpki(), stats)
-}
-
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("ablation_awb_filter", &args);
     let benchmarks = [
         Benchmark::Mcf,
         Benchmark::Omnetpp,
@@ -41,6 +25,26 @@ fn main() {
         Benchmark::Stream,
         Benchmark::CactusAdm,
     ];
+
+    // One flat (benchmark × {no filter, filter}) work list.
+    let units: Vec<RunUnit> = benchmarks
+        .iter()
+        .flat_map(|&bench| {
+            [false, true].into_iter().map(move |filter| {
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: false,
+                    },
+                    effort,
+                );
+                config.awb_rewrite_filter = filter;
+                RunUnit::alone(bench, config)
+            })
+        })
+        .collect();
+    let results = runner.run_units("filter sweep", &units);
 
     let header: Vec<String> = [
         "benchmark",
@@ -55,20 +59,22 @@ fn main() {
     .map(ToString::to_string)
     .collect();
     let mut rows = Vec::new();
-    for bench in benchmarks {
-        let (ipc, wpki, _) = run(bench, effort, false);
-        let (f_ipc, f_wpki, stats) = run(bench, effort, true);
-        let (suppressed, allowed) = stats.expect("filter enabled");
+    for (bench, pair) in benchmarks.iter().zip(results.chunks(2)) {
+        let (off, on) = (&pair[0], &pair[1]);
+        let (suppressed, allowed) = on
+            .rewrite_filter
+            .as_ref()
+            .map(|f| (f.suppressed_sweeps, f.allowed_sweeps))
+            .expect("filter enabled");
         rows.push(vec![
             bench.label().to_string(),
-            format!("{ipc:.3}"),
-            format!("{f_ipc:.3}"),
-            format!("{wpki:.2}"),
-            format!("{f_wpki:.2}"),
+            format!("{:.3}", off.cores[0].ipc()),
+            format!("{:.3}", on.cores[0].ipc()),
+            format!("{:.2}", off.wpki()),
+            format!("{:.2}", on.wpki()),
             suppressed.to_string(),
             allowed.to_string(),
         ]);
-        eprintln!("awb filter: {} done", bench.label());
     }
 
     println!("\n== Extension: last-write filtering of AWB sweeps (DBI+AWB) ==");
@@ -78,4 +84,5 @@ fn main() {
     println!(" their writeback traffic leaves through DBI capacity evictions, which");
     println!(" the filter does not gate — their WPKI inflation is a DBI-size effect,");
     println!(" matching the paper's Section 6.1 attribution)");
+    runner.finish();
 }

@@ -9,13 +9,14 @@
 //! Usage: `cargo run --release -p dbi-bench --bin ablation_dbi_assoc
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("ablation_dbi_assoc", &args);
     let benchmarks = [
         Benchmark::Lbm,
         Benchmark::Mcf,
@@ -24,31 +25,36 @@ fn main() {
     ];
     let assocs = [2usize, 4, 8, 16, 32, 64];
 
+    // One flat (associativity × benchmark) work list.
+    let units: Vec<RunUnit> = assocs
+        .iter()
+        .flat_map(|&assoc| {
+            benchmarks.iter().map(move |&bench| {
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: false,
+                    },
+                    effort,
+                );
+                config.dbi.associativity = assoc;
+                RunUnit::alone(bench, config)
+            })
+        })
+        .collect();
+    let results = runner.run_units("associativity sweep", &units);
+
     let header: Vec<String> = std::iter::once("associativity".to_string())
         .chain(assocs.iter().map(ToString::to_string))
         .collect();
     let mut ipc_row = vec!["gmean IPC".to_string()];
     let mut wpki_row = vec!["mean WPKI".to_string()];
-    for &assoc in &assocs {
-        let mut ipcs = Vec::new();
-        let mut wpki = 0.0;
-        for &bench in &benchmarks {
-            let mut config = config_for(
-                1,
-                Mechanism::Dbi {
-                    awb: true,
-                    clb: false,
-                },
-                effort,
-            );
-            config.dbi.associativity = assoc;
-            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
-            ipcs.push(r.cores[0].ipc());
-            wpki += r.wpki();
-        }
+    for chunk in results.chunks(benchmarks.len()) {
+        let ipcs: Vec<f64> = chunk.iter().map(|r| r.cores[0].ipc()).collect();
+        let wpki: f64 = chunk.iter().map(system_sim::MixResult::wpki).sum();
         ipc_row.push(format!("{:.3}", metrics::gmean(&ipcs)));
         wpki_row.push(format!("{:.2}", wpki / benchmarks.len() as f64));
-        eprintln!("dbi assoc {assoc} done");
     }
 
     println!("\n== DBI associativity sweep (DBI+AWB, alpha=1/4, granularity 64) ==");
@@ -56,4 +62,5 @@ fn main() {
     println!("\n(expectation: low associativity causes conflict evictions in the DBI —");
     println!(" more premature writebacks — and performance saturates by ~16 ways,");
     println!(" supporting the paper's choice of 16)");
+    runner.finish();
 }

@@ -10,14 +10,23 @@
 //! Usage: `cargo run --release -p dbi-bench --bin ablation_drain_policy
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, Effort};
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
 use dram_sim::DrainPolicy;
-use system_sim::{metrics, run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use system_sim::{metrics, Mechanism};
 use trace_gen::Benchmark;
 
+const MECHANISMS: [Mechanism; 2] = [
+    Mechanism::Baseline,
+    Mechanism::Dbi {
+        awb: true,
+        clb: false,
+    },
+];
+
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("ablation_drain_policy", &args);
     let benchmarks = [Benchmark::Lbm, Benchmark::Stream, Benchmark::GemsFdtd];
     let policies: [(&str, DrainPolicy); 3] = [
         ("drain-when-full", DrainPolicy::WhenFull),
@@ -31,6 +40,19 @@ fn main() {
         ),
     ];
 
+    // One flat (policy × mechanism × benchmark) work list.
+    let mut units = Vec::new();
+    for &(_, policy) in &policies {
+        for &mechanism in &MECHANISMS {
+            for &bench in &benchmarks {
+                let mut config = config_for(1, mechanism, effort);
+                config.dram.drain_policy = policy;
+                units.push(RunUnit::alone(bench, config));
+            }
+        }
+    }
+    let results = runner.run_units("drain sweep", &units);
+
     let header: Vec<String> = [
         "policy",
         "Base IPC",
@@ -42,33 +64,26 @@ fn main() {
     .map(ToString::to_string)
     .collect();
     let mut rows = Vec::new();
-    for (label, policy) in policies {
-        let mut cells = vec![label.to_string()];
-        for mechanism in [
-            Mechanism::Baseline,
-            Mechanism::Dbi {
-                awb: true,
-                clb: false,
-            },
-        ] {
-            let mut ipcs = Vec::new();
-            let mut rhr = 0.0;
-            for &bench in &benchmarks {
-                let mut config = config_for(1, mechanism, effort);
-                config.dram.drain_policy = policy;
-                let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
-                ipcs.push(r.cores[0].ipc());
-                rhr += r.dram.write_row_hit_rate().unwrap_or(0.0);
-            }
+    for ((label, _), policy_chunk) in policies
+        .iter()
+        .zip(results.chunks(MECHANISMS.len() * benchmarks.len()))
+    {
+        let mut cells = vec![(*label).to_string()];
+        for chunk in policy_chunk.chunks(benchmarks.len()) {
+            let ipcs: Vec<f64> = chunk.iter().map(|r| r.cores[0].ipc()).collect();
+            let rhr: f64 = chunk
+                .iter()
+                .map(|r| r.dram.write_row_hit_rate().unwrap_or(0.0))
+                .sum();
             cells.push(format!("{:.3}", metrics::gmean(&ipcs)));
             cells.push(format!("{:.2}", rhr / benchmarks.len() as f64));
         }
         rows.push(cells);
-        eprintln!("drain policy {label} done");
     }
 
     println!("\n== Drain-policy ablation (write-heavy benchmarks) ==");
     print_table(18, 12, &header, &rows);
     println!("\n(expectation: DBI+AWB keeps its row-hit advantage under every policy;");
     println!(" earlier drains shorten read-blocking episodes but batch fewer writes)");
+    runner.finish();
 }

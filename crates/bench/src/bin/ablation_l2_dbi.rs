@@ -12,13 +12,14 @@
 //! Usage: `cargo run --release -p dbi-bench --bin ablation_l2_dbi
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::Mechanism;
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("ablation_l2_dbi", &args);
     let benchmarks = [
         Benchmark::Lbm,
         Benchmark::GemsFdtd,
@@ -26,6 +27,26 @@ fn main() {
         Benchmark::CactusAdm,
         Benchmark::Mcf,
     ];
+
+    // One flat (benchmark × {without, with L2 DBIs}) work list.
+    let units: Vec<RunUnit> = benchmarks
+        .iter()
+        .flat_map(|&bench| {
+            [false, true].into_iter().map(move |l2_dbi| {
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: false,
+                    },
+                    effort,
+                );
+                config.l2_dbi = l2_dbi;
+                RunUnit::alone(bench, config)
+            })
+        })
+        .collect();
+    let results = runner.run_units("l2-dbi sweep", &units);
 
     let header: Vec<String> = [
         "benchmark",
@@ -40,39 +61,22 @@ fn main() {
     .map(ToString::to_string)
     .collect();
     let mut rows = Vec::new();
-    for bench in benchmarks {
-        let mut cells = vec![bench.label().to_string()];
-        let mut ipcs = Vec::new();
-        let mut rhrs = Vec::new();
-        let mut bursts = Vec::new();
-        for l2_dbi in [false, true] {
-            let mut config = config_for(
-                1,
-                Mechanism::Dbi {
-                    awb: true,
-                    clb: false,
-                },
-                effort,
-            );
-            config.l2_dbi = l2_dbi;
-            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
-            ipcs.push(r.cores[0].ipc());
-            rhrs.push(r.dram.write_row_hit_rate().unwrap_or(0.0));
-            bursts.push(
-                r.dbi
-                    .as_ref()
-                    .and_then(|d| d.writebacks_per_eviction())
-                    .unwrap_or(0.0),
-            );
-        }
-        cells.push(format!("{:.3}", ipcs[0]));
-        cells.push(format!("{:.3}", ipcs[1]));
-        cells.push(format!("{:.2}", rhrs[0]));
-        cells.push(format!("{:.2}", rhrs[1]));
-        cells.push(format!("{:.1}", bursts[0]));
-        cells.push(format!("{:.1}", bursts[1]));
-        rows.push(cells);
-        eprintln!("l2 dbi: {} done", bench.label());
+    for (bench, pair) in benchmarks.iter().zip(results.chunks(2)) {
+        let burst = |r: &system_sim::MixResult| {
+            r.dbi
+                .as_ref()
+                .and_then(|d| d.writebacks_per_eviction())
+                .unwrap_or(0.0)
+        };
+        rows.push(vec![
+            bench.label().to_string(),
+            format!("{:.3}", pair[0].cores[0].ipc()),
+            format!("{:.3}", pair[1].cores[0].ipc()),
+            format!("{:.2}", pair[0].dram.write_row_hit_rate().unwrap_or(0.0)),
+            format!("{:.2}", pair[1].dram.write_row_hit_rate().unwrap_or(0.0)),
+            format!("{:.1}", burst(&pair[0])),
+            format!("{:.1}", burst(&pair[1])),
+        ]);
     }
 
     println!("\n== Extension: per-core L2 DBIs feeding the LLC (DBI+AWB) ==");
@@ -81,4 +85,5 @@ fn main() {
     println!(" already recovers the row locality, so batching a level earlier mostly");
     println!(" helps scatter-write traffic (mcf wrhr +4pp). The paper's Section 7");
     println!(" suggestion composes cleanly but is not where the gains live here)");
+    runner.finish();
 }

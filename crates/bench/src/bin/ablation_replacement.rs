@@ -10,13 +10,14 @@
 //! [--quick|--full]`
 
 use dbi::DbiReplacementPolicy;
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("ablation_replacement", &args);
     // The write-sensitive subset keeps the sweep fast while covering the
     // behaviours the policy choice affects.
     let benchmarks = [
@@ -28,27 +29,39 @@ fn main() {
         Benchmark::Leslie3d,
     ];
 
+    // One flat (policy × benchmark) work list.
+    let units: Vec<RunUnit> = DbiReplacementPolicy::ALL
+        .iter()
+        .flat_map(|&policy| {
+            benchmarks.iter().map(move |&bench| {
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: true,
+                        clb: false,
+                    },
+                    effort,
+                );
+                config.dbi.policy = policy;
+                RunUnit::alone(bench, config)
+            })
+        })
+        .collect();
+    let results = runner.run_units("policy sweep", &units);
+
     let header: Vec<String> = ["policy", "gmean IPC", "mean WPKI", "wb/eviction"]
         .iter()
         .map(ToString::to_string)
         .collect();
     let mut rows = Vec::new();
-
-    for policy in DbiReplacementPolicy::ALL {
+    for (policy, chunk) in DbiReplacementPolicy::ALL
+        .iter()
+        .zip(results.chunks(benchmarks.len()))
+    {
         let mut ipcs = Vec::new();
         let mut wpki = 0.0;
         let mut bursts = Vec::new();
-        for &bench in &benchmarks {
-            let mut config = config_for(
-                1,
-                Mechanism::Dbi {
-                    awb: true,
-                    clb: false,
-                },
-                effort,
-            );
-            config.dbi.policy = policy;
-            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
+        for r in chunk {
             ipcs.push(r.cores[0].ipc());
             wpki += r.wpki();
             if let Some(b) = r.dbi.as_ref().and_then(|d| d.writebacks_per_eviction()) {
@@ -64,10 +77,10 @@ fn main() {
                 bursts.iter().sum::<f64>() / bursts.len().max(1) as f64
             ),
         ]);
-        eprintln!("ablation: {} done", policy.label());
     }
 
     println!("\n== Section 4.3 ablation: DBI replacement policies (DBI+AWB) ==");
     print_table(12, 11, &header, &rows);
     println!("\n(paper: LRW comparable or better than the alternatives)");
+    runner.finish();
 }

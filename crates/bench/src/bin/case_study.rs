@@ -10,17 +10,26 @@
 //! Usage: `cargo run --release -p dbi-bench --bin case_study
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, pct, print_table, AloneIpcCache, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
+use dbi_bench::{config_for, pct, print_table, AloneIpcCache, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("case_study", &args);
     let mix = WorkloadMix::new(vec![Benchmark::GemsFdtd, Benchmark::Libquantum]);
     let cores = 2;
-    let mut alone = AloneIpcCache::new();
-    let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
+    let alone = AloneIpcCache::new(&runner);
+    alone.prime(
+        std::slice::from_ref(&mix),
+        &config_for(cores, Mechanism::Baseline, effort),
+    );
+    let alone_ipcs = alone.for_mix(
+        mix.benchmarks(),
+        &config_for(cores, Mechanism::Baseline, effort),
+    );
 
     let mechanisms = [
         Mechanism::Baseline,
@@ -38,6 +47,11 @@ fn main() {
             clb: true,
         },
     ];
+    let units: Vec<RunUnit> = mechanisms
+        .iter()
+        .map(|&m| RunUnit::new(mix.clone(), config_for(cores, m, effort)))
+        .collect();
+    let results = runner.run_units("mechanisms", &units);
 
     let header: Vec<String> = [
         "mechanism",
@@ -52,9 +66,7 @@ fn main() {
     .collect();
     let mut rows = Vec::new();
     let mut base_ws = 0.0;
-    for (i, &mechanism) in mechanisms.iter().enumerate() {
-        let config = config_for(cores, mechanism, effort);
-        let r = run_mix(&mix, &config);
+    for (i, (&mechanism, r)) in mechanisms.iter().zip(&results).enumerate() {
         let ws = metrics::weighted_speedup(&r.ipcs(), &alone_ipcs);
         if i == 0 {
             base_ws = ws;
@@ -67,11 +79,11 @@ fn main() {
             format!("{:.3}", r.cores[0].ipc()),
             format!("{:.3}", r.cores[1].ipc()),
         ]);
-        eprintln!("case study: {} done", mechanism.label());
     }
 
     println!("\n== Section 6.2 case study: GemsFDTD + libquantum (2-core) ==");
     print_table(14, 11, &header, &rows);
     println!("\n(paper: DAWB +40%, DBI +83%, DBI+AWB ~DBI, DBI+AWB+CLB +92% over Baseline;");
     println!(" DAWB inflates tag lookups, CLB deflates them)");
+    runner.finish();
 }

@@ -10,26 +10,30 @@
 //! Usage: `cargo run --release -p dbi-bench --bin fig6_single_core
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, write_tsv, Effort, FIGURE_MECHANISMS};
-use system_sim::{metrics, run_mix, MixResult};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{
+    config_for, print_table, write_tsv, BenchArgs, RunUnit, Runner, FIGURE_MECHANISMS,
+};
+use system_sim::{metrics, MixResult};
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("fig6_single_core", &args);
     let mechanisms = FIGURE_MECHANISMS;
 
-    // Run everything once; derive all five panels from the stored results.
-    let mut results: Vec<Vec<MixResult>> = Vec::new();
-    for bench in Benchmark::ALL {
-        let mut row = Vec::new();
-        for &mechanism in &mechanisms {
-            let config = config_for(1, mechanism, effort);
-            row.push(run_mix(&WorkloadMix::new(vec![bench]), &config));
-        }
-        results.push(row);
-        eprintln!("fig6: {} done", bench.label());
-    }
+    // Run everything once — one flat (benchmark × mechanism) work list —
+    // and derive all five panels from the stored results.
+    let units: Vec<RunUnit> = Benchmark::ALL
+        .iter()
+        .flat_map(|&bench| {
+            mechanisms
+                .iter()
+                .map(move |&mechanism| RunUnit::alone(bench, config_for(1, mechanism, effort)))
+        })
+        .collect();
+    let flat = runner.run_units("benchmark × mechanism", &units);
+    let results: Vec<&[MixResult]> = flat.chunks(mechanisms.len()).collect();
 
     let header: Vec<String> = std::iter::once("benchmark".to_string())
         .chain(mechanisms.iter().map(|m| m.label().to_string()))
@@ -60,7 +64,7 @@ fn main() {
         }
         rows.push(last);
         print_table(12, 11, &header, &rows);
-        write_tsv(&tsv_name, &header, &rows);
+        write_tsv(&args.results_dir(), &tsv_name, &header, &rows);
     };
 
     panel("a: IPC", &|r| r.cores[0].ipc(), "gmean");
@@ -84,4 +88,5 @@ fn main() {
         "\nDBI+AWB vs TA-DIP (gmean IPC): {:+.1}%  (paper: +13%)",
         (metrics::gmean(&dbi_awb) / metrics::gmean(&tadip) - 1.0) * 100.0
     );
+    runner.finish();
 }

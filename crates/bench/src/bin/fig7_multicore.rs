@@ -8,9 +8,9 @@
 //! [--quick|--full]`
 
 use dbi_bench::{
-    config_for, parallel_map, pct, print_table, seeds_from_args, write_tsv, AloneIpcCache, Effort,
+    config_for, pct, print_table, write_tsv, AloneIpcCache, BenchArgs, RunUnit, Runner,
 };
-use system_sim::{metrics, run_mix, Mechanism};
+use system_sim::{metrics, Mechanism};
 use trace_gen::mix::generate_mixes;
 
 const MECHANISMS: [Mechanism; 7] = [
@@ -35,44 +35,69 @@ const MECHANISMS: [Mechanism; 7] = [
     },
 ];
 
+const CORE_COUNTS: [usize; 3] = [2, 4, 8];
+
 fn main() {
-    let effort = Effort::from_args();
-    let seeds = seeds_from_args();
-    let mut alone = AloneIpcCache::new();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("fig7_multicore", &args);
+    let alone = AloneIpcCache::new(&runner);
+
+    // Alone baselines first (parallel within each geometry; the store
+    // deduplicates across binaries and reruns)...
+    let mixes_per_cores: Vec<_> = CORE_COUNTS
+        .iter()
+        .map(|&cores| generate_mixes(cores, effort.mix_count(cores), 42))
+        .collect();
+    for (&cores, mixes) in CORE_COUNTS.iter().zip(&mixes_per_cores) {
+        alone.prime(mixes, &config_for(cores, Mechanism::Baseline, effort));
+    }
+    let alone_per_mix: Vec<Vec<Vec<f64>>> = CORE_COUNTS
+        .iter()
+        .zip(&mixes_per_cores)
+        .map(|(&cores, mixes)| {
+            let config = config_for(cores, Mechanism::Baseline, effort);
+            mixes
+                .iter()
+                .map(|m| alone.for_mix(m.benchmarks(), &config))
+                .collect()
+        })
+        .collect();
+
+    // ...then every (geometry, mix, mechanism, seed) cell flattens into
+    // one work list: mechanisms and core counts overlap instead of
+    // running serially.
+    let mut units = Vec::new();
+    let mut cells = Vec::new(); // (geometry index, mix index, mechanism index)
+    for (ci, (&cores, mixes)) in CORE_COUNTS.iter().zip(&mixes_per_cores).enumerate() {
+        for (wi, mix) in mixes.iter().enumerate() {
+            for (mi, &mechanism) in MECHANISMS.iter().enumerate() {
+                for seed in 0..args.seeds {
+                    let mut config = config_for(cores, mechanism, effort);
+                    config.seed = config.seed.wrapping_add(seed * 10_007);
+                    units.push(RunUnit::new(mix.clone(), config));
+                    cells.push((ci, wi, mi));
+                }
+            }
+        }
+    }
+    let results = runner.run_units("mix runs", &units);
 
     let header: Vec<String> = std::iter::once("system".to_string())
         .chain(MECHANISMS.iter().map(|m| m.label().to_string()))
         .collect();
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
-
-    for cores in [2usize, 4, 8] {
-        let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
-        // Alone baselines first (serial: the cache deduplicates work)...
-        let alone_per_mix: Vec<Vec<f64>> = mixes
-            .iter()
-            .map(|m| alone.for_mix(m.benchmarks(), cores, effort))
-            .collect();
-        // ...then all (mix, mechanism, seed) cells fan out across cores.
-        let cells: Vec<(usize, usize, u64)> = (0..mixes.len())
-            .flat_map(|wi| {
-                (0..MECHANISMS.len()).flat_map(move |mi| (0..seeds).map(move |s| (wi, mi, s)))
-            })
-            .collect();
-        let ws_values = parallel_map(&cells, |&(wi, mi, seed)| {
-            let mut config = config_for(cores, MECHANISMS[mi], effort);
-            config.seed = config.seed.wrapping_add(seed * 10_007);
-            let result = run_mix(&mixes[wi], &config);
-            metrics::weighted_speedup(&result.ipcs(), &alone_per_mix[wi])
-        });
-        eprintln!("fig7: {cores}-core ({} runs) done", cells.len());
+    for (ci, (&cores, mixes)) in CORE_COUNTS.iter().zip(&mixes_per_cores).enumerate() {
         let mut sums = vec![0.0; MECHANISMS.len()];
-        for (&(_, mi, _), ws) in cells.iter().zip(&ws_values) {
-            sums[mi] += ws;
+        for (&(cell_ci, wi, mi), result) in cells.iter().zip(&results) {
+            if cell_ci == ci {
+                sums[mi] += metrics::weighted_speedup(&result.ipcs(), &alone_per_mix[ci][wi]);
+            }
         }
         let means: Vec<f64> = sums
             .iter()
-            .map(|s| s / (mixes.len() as u64 * seeds) as f64)
+            .map(|s| s / (mixes.len() as u64 * args.seeds) as f64)
             .collect();
         let mut row = vec![format!("{cores}-core")];
         row.extend(means.iter().map(|v| format!("{v:.3}")));
@@ -87,7 +112,7 @@ fn main() {
 
     println!("\n== Figure 7: average weighted speedup ==");
     print_table(8, 11, &header, &rows);
-    write_tsv("fig7.tsv", &header, &rows);
+    write_tsv(&args.results_dir(), "fig7.tsv", &header, &rows);
 
     println!("\nHeadline improvements (DBI+AWB+CLB):");
     for (cores, vs_base, vs_dawb, awb_vs_dawb) in improvements {
@@ -99,4 +124,5 @@ fn main() {
         );
     }
     println!("  (paper, 8-core: +31% vs Baseline, +6% vs best previous; DBI+AWB vs DAWB +3%)");
+    runner.finish();
 }

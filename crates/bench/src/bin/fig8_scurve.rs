@@ -9,31 +9,51 @@
 //! Usage: `cargo run --release -p dbi-bench --bin fig8_scurve
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, write_tsv, AloneIpcCache, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
+use dbi_bench::{config_for, write_tsv, AloneIpcCache, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::mix::generate_mixes;
 
+const MECHANISMS: [Mechanism; 3] = [
+    Mechanism::Baseline,
+    Mechanism::Dawb,
+    Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    },
+];
+
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("fig8_scurve", &args);
     let cores = 4;
     let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
-    let mut alone = AloneIpcCache::new();
+
+    let alone = AloneIpcCache::new(&runner);
+    alone.prime(&mixes, &config_for(cores, Mechanism::Baseline, effort));
+
+    // One flat (mix × mechanism) work list instead of three serial legs.
+    let units: Vec<RunUnit> = mixes
+        .iter()
+        .flat_map(|mix| {
+            MECHANISMS
+                .iter()
+                .map(|&mechanism| RunUnit::new(mix.clone(), config_for(cores, mechanism, effort)))
+        })
+        .collect();
+    let results = runner.run_units("mix runs", &units);
 
     let mut series: Vec<(String, f64, f64)> = Vec::new(); // (label, dawb, dbi) normalized
-    for (i, mix) in mixes.iter().enumerate() {
-        let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
-        let ws = |mechanism| {
-            let config = config_for(cores, mechanism, effort);
-            metrics::weighted_speedup(&run_mix(mix, &config).ipcs(), &alone_ipcs)
-        };
-        let base = ws(Mechanism::Baseline);
-        let dawb = ws(Mechanism::Dawb) / base;
-        let dbi = ws(Mechanism::Dbi {
-            awb: true,
-            clb: true,
-        }) / base;
-        series.push((mix.label(), dawb, dbi));
-        eprintln!("fig8: mix {}/{} done", i + 1, mixes.len());
+    for (mix, chunk) in mixes.iter().zip(results.chunks(MECHANISMS.len())) {
+        let alone_ipcs = alone.for_mix(
+            mix.benchmarks(),
+            &config_for(cores, Mechanism::Baseline, effort),
+        );
+        let ws: Vec<f64> = chunk
+            .iter()
+            .map(|r| metrics::weighted_speedup(&r.ipcs(), &alone_ipcs))
+            .collect();
+        series.push((mix.label(), ws[1] / ws[0], ws[2] / ws[0]));
     }
     series.sort_by(|a, b| a.2.total_cmp(&b.2));
 
@@ -56,7 +76,7 @@ fn main() {
         .iter()
         .map(|(label, dawb, dbi)| vec![label.clone(), format!("{dawb:.4}"), format!("{dbi:.4}")])
         .collect();
-    write_tsv("fig8.tsv", &header, &rows);
+    write_tsv(&args.results_dir(), "fig8.tsv", &header, &rows);
 
     let dbi_vals: Vec<f64> = series.iter().map(|s| s.2).collect();
     let wins = series.iter().filter(|s| s.2 > s.1).count();
@@ -72,4 +92,5 @@ fn main() {
         dbi_vals.iter().sum::<f64>() / dbi_vals.len() as f64,
         dbi_vals.iter().copied().fold(0.0, f64::max)
     );
+    runner.finish();
 }

@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use dbi_bench::Effort;
+use dbi_bench::{BenchArgs, Effort};
 use system_sim::{run_mix, Mechanism, MixResult, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
@@ -138,20 +138,19 @@ fn json_for(name: &str, cores: usize, benchmarks: &[Benchmark], runs: &[Measurem
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let effort = if args.iter().any(|a| a == "--full") {
+    let (args, extras) = BenchArgs::parse_with(&["--out"]);
+    // This binary measures raw hot-path throughput, so its historical
+    // default is the short `--quick` window; `--full` selects the longer
+    // one. It never uses the result store — every run must simulate.
+    let effort = if args.effort == Effort::Full {
         Effort::Full
     } else {
         Effort::Quick
     };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || dbi_bench::workspace_root().join("BENCH_hotpath.json"),
-            std::path::PathBuf::from,
-        );
+    let out_path = extras.iter().find(|(flag, _)| flag == "--out").map_or_else(
+        || dbi_bench::workspace_root().join("BENCH_hotpath.json"),
+        |(_, value)| std::path::PathBuf::from(value),
+    );
 
     if cfg!(debug_assertions) {
         eprintln!(

@@ -7,9 +7,14 @@
 //! Usage: `cargo run --release -p dbi-bench --bin table3_fairness
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, pct, print_table, AloneIpcCache, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
+use dbi_bench::{config_for, pct, print_table, AloneIpcCache, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::mix::generate_mixes;
+
+const DBI_FULL: Mechanism = Mechanism::Dbi {
+    awb: true,
+    clb: true,
+};
 
 #[derive(Default, Clone, Copy)]
 struct Sums {
@@ -19,42 +24,67 @@ struct Sums {
     ms: f64,
 }
 
+impl Sums {
+    fn add(&mut self, ipcs: &[f64], alone_ipcs: &[f64]) {
+        self.ws += metrics::weighted_speedup(ipcs, alone_ipcs);
+        self.it += metrics::instruction_throughput(ipcs);
+        self.hs += metrics::harmonic_speedup(ipcs, alone_ipcs);
+        self.ms += metrics::maximum_slowdown(ipcs, alone_ipcs);
+    }
+}
+
 fn main() {
-    let effort = Effort::from_args();
-    let mut alone = AloneIpcCache::new();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("table3_fairness", &args);
+    let alone = AloneIpcCache::new(&runner);
 
     let header: Vec<String> = ["metric", "2-core", "4-core", "8-core"]
         .iter()
         .map(ToString::to_string)
         .collect();
-    let mut cols: Vec<(usize, Sums, Sums)> = Vec::new();
 
-    for cores in [2usize, 4, 8] {
-        let mixes = generate_mixes(cores, effort.mix_count(cores), 42);
-        let mut base = Sums::default();
-        let mut dbi = Sums::default();
-        for (i, mix) in mixes.iter().enumerate() {
-            let alone_ipcs = alone.for_mix(mix.benchmarks(), cores, effort);
-            for (mechanism, sums) in [
-                (Mechanism::Baseline, &mut base),
-                (
-                    Mechanism::Dbi {
-                        awb: true,
-                        clb: true,
-                    },
-                    &mut dbi,
-                ),
-            ] {
-                let config = config_for(cores, mechanism, effort);
-                let ipcs = run_mix(mix, &config).ipcs();
-                sums.ws += metrics::weighted_speedup(&ipcs, &alone_ipcs);
-                sums.it += metrics::instruction_throughput(&ipcs);
-                sums.hs += metrics::harmonic_speedup(&ipcs, &alone_ipcs);
-                sums.ms += metrics::maximum_slowdown(&ipcs, &alone_ipcs);
+    // Every (core count × mix × mechanism) cell flattens into one list.
+    let core_counts = [2usize, 4, 8];
+    let mixes_per_cores: Vec<_> = core_counts
+        .iter()
+        .map(|&cores| generate_mixes(cores, effort.mix_count(cores), 42))
+        .collect();
+    for (&cores, mixes) in core_counts.iter().zip(&mixes_per_cores) {
+        alone.prime(mixes, &config_for(cores, Mechanism::Baseline, effort));
+    }
+    let mut units = Vec::new();
+    let mut cells = Vec::new(); // (geometry index, mix index, is_dbi)
+    for (ci, (&cores, mixes)) in core_counts.iter().zip(&mixes_per_cores).enumerate() {
+        for (wi, mix) in mixes.iter().enumerate() {
+            for mechanism in [Mechanism::Baseline, DBI_FULL] {
+                units.push(RunUnit::new(
+                    mix.clone(),
+                    config_for(cores, mechanism, effort),
+                ));
+                cells.push((ci, wi, mechanism != Mechanism::Baseline));
             }
-            eprintln!("table3: {cores}-core mix {}/{} done", i + 1, mixes.len());
         }
-        cols.push((cores, base, dbi));
+    }
+    let results = runner.run_units("mix runs", &units);
+
+    let mut cols: Vec<(usize, Sums, Sums)> = core_counts
+        .iter()
+        .map(|&cores| (cores, Sums::default(), Sums::default()))
+        .collect();
+    for (&(ci, wi, is_dbi), result) in cells.iter().zip(&results) {
+        let cores = core_counts[ci];
+        let mix = &mixes_per_cores[ci][wi];
+        let alone_ipcs = alone.for_mix(
+            mix.benchmarks(),
+            &config_for(cores, Mechanism::Baseline, effort),
+        );
+        let sums = if is_dbi {
+            &mut cols[ci].2
+        } else {
+            &mut cols[ci].1
+        };
+        sums.add(&result.ipcs(), &alone_ipcs);
     }
 
     println!("\n== Table 3: DBI+AWB+CLB vs Baseline ==");
@@ -75,4 +105,5 @@ fn main() {
     ];
     print_table(36, 8, &header, &rows);
     println!("\n(paper: WS +22/32/31%, IT +23/32/30%, HS +23/36/35%, MS -18/29/28%)");
+    runner.finish();
 }

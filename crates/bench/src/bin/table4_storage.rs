@@ -8,9 +8,12 @@
 
 use area_model::storage::{CacheStorage, EccMode};
 use dbi::Alpha;
-use dbi_bench::{pct, print_table};
+use dbi_bench::{pct, print_table, BenchArgs};
 
 fn main() {
+    // No simulation here — parsed only so typoed flags fail loudly and the
+    // binary accepts the suite-wide invocation (`run_all.sh $EFFORT`).
+    let _args = BenchArgs::parse();
     let storage = CacheStorage::paper_cache(2 * 1024 * 1024);
     let header: Vec<String> = [
         "DBI Size (alpha)",

@@ -10,13 +10,13 @@
 
 use area_model::power::DbiPowerOverhead;
 use dbi::Alpha;
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
 
     println!("== Table 5: DBI power overhead (fraction of total cache power) ==");
     let header: Vec<String> = ["Cache size", "2 MB", "4 MB", "8 MB", "16 MB"]
@@ -47,24 +47,30 @@ fn main() {
     print_table(12, 8, &header, &rows);
     println!("(paper: static 0.12/0.21/0.21/0.22%, dynamic 4/1/1/2%)");
 
-    // Memory-energy reduction across the single-core suite.
+    // Memory-energy reduction across the single-core suite: one flat
+    // (benchmark × {Baseline, DBI+AWB+CLB}) work list.
     println!("\n== Section 6.3: single-core DRAM energy, DBI+AWB+CLB vs Baseline ==");
+    let runner = Runner::new("table5_power", &args);
+    let mechanisms = [
+        Mechanism::Baseline,
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
+    ];
+    let units: Vec<RunUnit> = Benchmark::ALL
+        .iter()
+        .flat_map(|&bench| {
+            mechanisms
+                .iter()
+                .map(move |&m| RunUnit::alone(bench, config_for(1, m, effort)))
+        })
+        .collect();
+    let results = runner.run_units("energy runs", &units);
+
     let mut ratios = Vec::new();
-    for bench in Benchmark::ALL {
-        let mix = WorkloadMix::new(vec![bench]);
-        let base = run_mix(&mix, &config_for(1, Mechanism::Baseline, effort));
-        let dbi = run_mix(
-            &mix,
-            &config_for(
-                1,
-                Mechanism::Dbi {
-                    awb: true,
-                    clb: true,
-                },
-                effort,
-            ),
-        );
-        let ratio = dbi.energy.total_pj() / base.energy.total_pj();
+    for (bench, pair) in Benchmark::ALL.iter().zip(results.chunks(2)) {
+        let ratio = pair[1].energy.total_pj() / pair[0].energy.total_pj();
         ratios.push(ratio);
         println!("  {:12} {:+6.1}%", bench.label(), (ratio - 1.0) * 100.0);
     }
@@ -73,4 +79,5 @@ fn main() {
         "gmean",
         (metrics::gmean(&ratios) - 1.0) * 100.0
     );
+    runner.finish();
 }

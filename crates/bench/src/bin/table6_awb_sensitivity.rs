@@ -8,34 +8,26 @@
 //! [--quick|--full]`
 
 use dbi::Alpha;
-use dbi_bench::{config_for, pct, print_table, Effort};
-use system_sim::{metrics, run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, pct, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::{metrics, Mechanism};
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("table6_awb_sensitivity", &args);
     let granularities = [16usize, 32, 64, 128];
     let alphas = [Alpha::QUARTER, Alpha::HALF];
 
-    // Baseline IPCs, once.
-    let mut base_ipcs = Vec::new();
-    for bench in Benchmark::ALL {
-        let config = config_for(1, Mechanism::Baseline, effort);
-        base_ipcs.push(run_mix(&WorkloadMix::new(vec![bench]), &config).cores[0].ipc());
-    }
-    let base_gmean = metrics::gmean(&base_ipcs);
-    eprintln!("table6: baselines done");
-
-    let header: Vec<String> = std::iter::once("Granularity".to_string())
-        .chain(granularities.iter().map(|g| g.to_string()))
+    // One flat work list: 14 baselines + (2 alphas × 4 granularities × 14
+    // benchmarks) DBI+AWB points.
+    let mut units: Vec<RunUnit> = Benchmark::ALL
+        .iter()
+        .map(|&b| RunUnit::alone(b, config_for(1, Mechanism::Baseline, effort)))
         .collect();
-    let mut rows = Vec::new();
     for alpha in alphas {
-        let mut row = vec![format!("alpha = {alpha}")];
         for &granularity in &granularities {
-            let mut ipcs = Vec::new();
-            for bench in Benchmark::ALL {
+            for &bench in &Benchmark::ALL {
                 let mut config = config_for(
                     1,
                     Mechanism::Dbi {
@@ -46,10 +38,28 @@ fn main() {
                 );
                 config.dbi.alpha = alpha;
                 config.dbi.granularity = granularity;
-                ipcs.push(run_mix(&WorkloadMix::new(vec![bench]), &config).cores[0].ipc());
+                units.push(RunUnit::alone(bench, config));
             }
-            row.push(pct(metrics::gmean(&ipcs) / base_gmean - 1.0));
-            eprintln!("table6: alpha={alpha} granularity={granularity} done");
+        }
+    }
+    let results = runner.run_units("sensitivity sweep", &units);
+
+    let n = Benchmark::ALL.len();
+    let ipcs_of = |chunk: &[system_sim::MixResult]| -> Vec<f64> {
+        chunk.iter().map(|r| r.cores[0].ipc()).collect()
+    };
+    let base_gmean = metrics::gmean(&ipcs_of(&results[..n]));
+
+    let header: Vec<String> = std::iter::once("Granularity".to_string())
+        .chain(granularities.iter().map(|g| g.to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for (ai, alpha) in alphas.iter().enumerate() {
+        let mut row = vec![format!("alpha = {alpha}")];
+        for gi in 0..granularities.len() {
+            let start = n + (ai * granularities.len() + gi) * n;
+            let gmean = metrics::gmean(&ipcs_of(&results[start..start + n]));
+            row.push(pct(gmean / base_gmean - 1.0));
         }
         rows.push(row);
     }
@@ -58,4 +68,5 @@ fn main() {
     print_table(14, 8, &header, &rows);
     println!("\n(paper: alpha=1/4 -> 10/12/12/13%, alpha=1/2 -> 10/12/13/14%;");
     println!(" the shape to match: gains grow with granularity and with alpha)");
+    runner.finish();
 }

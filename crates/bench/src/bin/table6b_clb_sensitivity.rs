@@ -10,14 +10,59 @@
 //! [--quick|--full]`
 
 use dbi::Alpha;
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{run_mix, Mechanism};
-use trace_gen::mix::WorkloadMix;
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::Mechanism;
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("table6b_clb_sensitivity", &args);
     let benchmarks = [Benchmark::Libquantum, Benchmark::Stream, Benchmark::Bzip2];
+
+    // The sweep points, in row order.
+    let mut points: Vec<(String, f64, u64, Alpha)> = Vec::new();
+    for threshold in [0.5, 0.75, 0.9, 0.95] {
+        points.push((
+            format!("threshold={threshold}"),
+            threshold,
+            500_000,
+            Alpha::QUARTER,
+        ));
+    }
+    for epoch in [100_000u64, 500_000, 2_500_000] {
+        points.push((
+            format!("epoch={}k cyc", epoch / 1000),
+            0.95,
+            epoch,
+            Alpha::QUARTER,
+        ));
+    }
+    for alpha in [Alpha::QUARTER, Alpha::HALF] {
+        points.push((format!("alpha={alpha}"), 0.95, 500_000, alpha));
+    }
+
+    // One flat (sweep point × benchmark) work list.
+    let units: Vec<RunUnit> = points
+        .iter()
+        .flat_map(|&(_, threshold, epoch, alpha)| {
+            benchmarks.iter().map(move |&bench| {
+                let mut config = config_for(
+                    1,
+                    Mechanism::Dbi {
+                        awb: false,
+                        clb: true,
+                    },
+                    effort,
+                );
+                config.predictor_threshold = threshold;
+                config.predictor_epoch_cycles = epoch;
+                config.dbi.alpha = alpha;
+                RunUnit::alone(bench, config)
+            })
+        })
+        .collect();
+    let results = runner.run_units("clb sweep", &units);
 
     let header: Vec<String> = std::iter::once("configuration".to_string())
         .chain(
@@ -26,57 +71,25 @@ fn main() {
                 .flat_map(|b| [format!("{b} IPC"), format!("{b} byp/KI")]),
         )
         .collect();
-    let mut rows = Vec::new();
-
-    let mut sweep = |label: String, threshold: f64, epoch: u64, alpha: Alpha| {
-        let mut row = vec![label];
-        for &bench in &benchmarks {
-            let mut config = config_for(
-                1,
-                Mechanism::Dbi {
-                    awb: false,
-                    clb: true,
-                },
-                effort,
-            );
-            config.predictor_threshold = threshold;
-            config.predictor_epoch_cycles = epoch;
-            config.dbi.alpha = alpha;
-            let r = run_mix(&WorkloadMix::new(vec![bench]), &config);
-            row.push(format!("{:.3}", r.cores[0].ipc()));
-            row.push(format!(
-                "{:.1}",
-                r.llc.bypasses as f64 * 1000.0 / r.total_insts() as f64
-            ));
-        }
-        rows.push(row);
-    };
-
-    for threshold in [0.5, 0.75, 0.9, 0.95] {
-        sweep(
-            format!("threshold={threshold}"),
-            threshold,
-            500_000,
-            Alpha::QUARTER,
-        );
-        eprintln!("clb sweep: threshold {threshold} done");
-    }
-    for epoch in [100_000u64, 500_000, 2_500_000] {
-        sweep(
-            format!("epoch={}k cyc", epoch / 1000),
-            0.95,
-            epoch,
-            Alpha::QUARTER,
-        );
-        eprintln!("clb sweep: epoch {epoch} done");
-    }
-    for alpha in [Alpha::QUARTER, Alpha::HALF] {
-        sweep(format!("alpha={alpha}"), 0.95, 500_000, alpha);
-        eprintln!("clb sweep: alpha {alpha} done");
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(results.chunks(benchmarks.len()))
+        .map(|((label, _, _, _), chunk)| {
+            let mut row = vec![label.clone()];
+            for r in chunk {
+                row.push(format!("{:.3}", r.cores[0].ipc()));
+                row.push(format!(
+                    "{:.1}",
+                    r.llc.bypasses as f64 * 1000.0 / r.total_insts() as f64
+                ));
+            }
+            row
+        })
+        .collect();
 
     println!("\n== Section 6.4: CLB sensitivity (DBI+CLB) ==");
     print_table(20, 12, &header, &rows);
     println!("\n(paper: no significant IPC difference across these ranges;");
     println!(" bzip2 must show ~zero bypasses in every row)");
+    runner.finish();
 }

@@ -8,67 +8,101 @@
 //! Usage: `cargo run --release -p dbi-bench --bin table7_cache_size
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, pct, print_table, Effort};
-use system_sim::{metrics, run_alone, run_mix, Mechanism, SystemConfig};
-use trace_gen::mix::generate_mixes;
-use trace_gen::Benchmark;
+use dbi_bench::{config_for, pct, print_table, AloneIpcCache, BenchArgs, Effort, RunUnit, Runner};
+use system_sim::{metrics, Mechanism, SystemConfig};
+use trace_gen::mix::{generate_mixes, WorkloadMix};
 
-fn ws_improvement(cores: usize, effort: Effort, adjust: &dyn Fn(&mut SystemConfig)) -> f64 {
-    let mixes = generate_mixes(cores, effort.mix_count(cores).min(10), 42);
-    // Alone baselines must use the same adjusted geometry.
-    let mut alone: std::collections::HashMap<Benchmark, f64> = std::collections::HashMap::new();
-    let mut total_base = 0.0;
-    let mut total_dbi = 0.0;
-    for mix in &mixes {
-        let alone_ipcs: Vec<f64> = mix
-            .benchmarks()
-            .iter()
-            .map(|&b| {
-                *alone.entry(b).or_insert_with(|| {
-                    let mut config = config_for(cores, Mechanism::Baseline, effort);
-                    adjust(&mut config);
-                    run_alone(b, &config).cores[0].ipc()
-                })
-            })
-            .collect();
-        for (mechanism, total) in [
-            (Mechanism::Baseline, &mut total_base),
-            (
-                Mechanism::Dbi {
-                    awb: true,
-                    clb: true,
-                },
-                &mut total_dbi,
-            ),
-        ] {
-            let mut config = config_for(cores, mechanism, effort);
-            adjust(&mut config);
-            let r = run_mix(mix, &config);
-            *total += metrics::weighted_speedup(&r.ipcs(), &alone_ipcs);
-        }
+const DBI_FULL: Mechanism = Mechanism::Dbi {
+    awb: true,
+    clb: true,
+};
+
+/// One sensitivity case: a core count plus a config adjustment (cache
+/// size or replacement policy). The alone-IPC baselines use the same
+/// adjusted geometry — the shared [`AloneIpcCache`] keys on the full
+/// configuration, so every case gets correctly separated baselines.
+struct Case {
+    cores: usize,
+    adjust: Box<dyn Fn(&mut SystemConfig)>,
+}
+
+impl Case {
+    fn config(&self, mechanism: Mechanism, effort: Effort) -> SystemConfig {
+        let mut c = config_for(self.cores, mechanism, effort);
+        (self.adjust)(&mut c);
+        c
     }
-    total_dbi / total_base - 1.0
+
+    fn mixes(&self, effort: Effort) -> Vec<WorkloadMix> {
+        generate_mixes(self.cores, effort.mix_count(self.cores).min(10), 42)
+    }
 }
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("table7_cache_size", &args);
+    let alone = AloneIpcCache::new(&runner);
+
+    // Cases 0..6: (2, 4 MB/core) × (2, 4, 8 cores); case 6: DRRIP, 8-core.
+    let mut cases: Vec<Case> = Vec::new();
+    for mb_per_core in [2u64, 4] {
+        for cores in [2usize, 4, 8] {
+            cases.push(Case {
+                cores,
+                adjust: Box::new(move |c| c.llc_bytes_per_core = mb_per_core * 1024 * 1024),
+            });
+        }
+    }
+    cases.push(Case {
+        cores: 8,
+        adjust: Box::new(|c| c.llc_replacement = cache_sim::ReplacementKind::Rrip),
+    });
+
+    // All (case × mix × mechanism) cells flatten into one work list.
+    for case in &cases {
+        alone.prime(
+            &case.mixes(effort),
+            &case.config(Mechanism::Baseline, effort),
+        );
+    }
+    let mut units = Vec::new();
+    let mut cells = Vec::new(); // (case index, is_dbi, alone IPCs of the mix)
+    for (ci, case) in cases.iter().enumerate() {
+        let base_config = case.config(Mechanism::Baseline, effort);
+        for mix in case.mixes(effort) {
+            let alone_ipcs = alone.for_mix(mix.benchmarks(), &base_config);
+            for mechanism in [Mechanism::Baseline, DBI_FULL] {
+                units.push(RunUnit::new(mix.clone(), case.config(mechanism, effort)));
+                cells.push((ci, mechanism != Mechanism::Baseline, alone_ipcs.clone()));
+            }
+        }
+    }
+    let results = runner.run_units("sensitivity cases", &units);
+
+    let mut totals = vec![(0.0f64, 0.0f64); cases.len()]; // (base, dbi) WS sums
+    for ((ci, is_dbi, alone_ipcs), result) in cells.iter().zip(&results) {
+        let ws = metrics::weighted_speedup(&result.ipcs(), alone_ipcs);
+        if *is_dbi {
+            totals[*ci].1 += ws;
+        } else {
+            totals[*ci].0 += ws;
+        }
+    }
+    let improvement = |ci: usize| totals[ci].1 / totals[ci].0 - 1.0;
 
     let header: Vec<String> = ["Cache size", "2-core", "4-core", "8-core"]
         .iter()
         .map(ToString::to_string)
         .collect();
-    let mut rows = Vec::new();
-    for mb_per_core in [2u64, 4] {
-        let mut row = vec![format!("{mb_per_core} MB/core")];
-        for cores in [2usize, 4, 8] {
-            let imp = ws_improvement(cores, effort, &|c| {
-                c.llc_bytes_per_core = mb_per_core * 1024 * 1024;
-            });
-            row.push(pct(imp));
-            eprintln!("table7: {mb_per_core} MB/core, {cores}-core done");
-        }
-        rows.push(row);
-    }
+    let rows: Vec<Vec<String>> = [(0, "2 MB/core"), (3, "4 MB/core")]
+        .iter()
+        .map(|&(base, label)| {
+            std::iter::once(label.to_string())
+                .chain((0..3).map(|i| pct(improvement(base + i))))
+                .collect()
+        })
+        .collect();
     println!("\n== Table 7: DBI+AWB+CLB weighted-speedup improvement over Baseline ==");
     print_table(12, 9, &header, &rows);
     println!("\n(paper: 2 MB/core -> 22/32/31%, 4 MB/core -> 20/27/25%;");
@@ -76,9 +110,7 @@ fn main() {
 
     // Section 6.5: the benefit survives a better replacement policy.
     println!("\n== Section 6.5: under DRRIP replacement (8-core) ==");
-    let imp = ws_improvement(8, effort, &|c| {
-        c.llc_replacement = cache_sim::ReplacementKind::Rrip;
-    });
-    println!("  DBI+AWB+CLB vs Baseline: {}", pct(imp));
+    println!("  DBI+AWB+CLB vs Baseline: {}", pct(improvement(6)));
     println!("  (paper: DBI keeps a significant edge under DRRIP — +7% over DAWB at 8 cores)");
+    runner.finish();
 }

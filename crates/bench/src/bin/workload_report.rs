@@ -8,13 +8,15 @@
 //! Usage: `cargo run --release -p dbi-bench --bin workload_report
 //! [--quick|--full]`
 
-use dbi_bench::{config_for, print_table, Effort};
-use system_sim::{run_mix, Mechanism};
-use trace_gen::mix::{intensity_grid, WorkloadMix};
+use dbi_bench::{config_for, print_table, BenchArgs, RunUnit, Runner};
+use system_sim::Mechanism;
+use trace_gen::mix::intensity_grid;
 use trace_gen::Benchmark;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
+    let runner = Runner::new("workload_report", &args);
 
     println!("== Profile parameters and intensity classes ==");
     let header: Vec<String> = [
@@ -55,23 +57,29 @@ fn main() {
     }
 
     println!("\n== Measured single-core characteristics (Baseline) ==");
+    let units: Vec<RunUnit> = Benchmark::ALL
+        .iter()
+        .map(|&b| RunUnit::alone(b, config_for(1, Mechanism::Baseline, effort)))
+        .collect();
+    let results = runner.run_units("baseline characterization", &units);
     let header: Vec<String> = ["benchmark", "IPC", "MPKI", "WPKI", "rd RHR", "wr RHR"]
         .iter()
         .map(ToString::to_string)
         .collect();
-    let mut rows = Vec::new();
-    for b in Benchmark::ALL {
-        let config = config_for(1, Mechanism::Baseline, effort);
-        let r = run_mix(&WorkloadMix::new(vec![b]), &config);
-        rows.push(vec![
-            b.label().to_string(),
-            format!("{:.3}", r.cores[0].ipc()),
-            format!("{:.1}", r.cores[0].mpki()),
-            format!("{:.1}", r.wpki()),
-            format!("{:.2}", r.dram.read_row_hit_rate().unwrap_or(0.0)),
-            format!("{:.2}", r.dram.write_row_hit_rate().unwrap_or(0.0)),
-        ]);
-        eprintln!("workload report: {} done", b.label());
-    }
+    let rows: Vec<Vec<String>> = Benchmark::ALL
+        .iter()
+        .zip(&results)
+        .map(|(b, r)| {
+            vec![
+                b.label().to_string(),
+                format!("{:.3}", r.cores[0].ipc()),
+                format!("{:.1}", r.cores[0].mpki()),
+                format!("{:.1}", r.wpki()),
+                format!("{:.2}", r.dram.read_row_hit_rate().unwrap_or(0.0)),
+                format!("{:.2}", r.dram.write_row_hit_rate().unwrap_or(0.0)),
+            ]
+        })
+        .collect();
     print_table(12, 8, &header, &rows);
+    runner.finish();
 }

@@ -7,12 +7,21 @@
 //!
 //! Run any binary with `--quick` for a CI-scale pass, the default for a
 //! laptop-scale reproduction, or `--full` for the paper's own workload
-//! counts (102 / 259 / 120 mixes).
+//! counts (102 / 259 / 120 mixes). Every binary parses its arguments
+//! through [`BenchArgs::parse`] and submits its simulations through the
+//! [`Runner`], which flattens nested (mechanism × mix) loops into one
+//! parallel work list and memoizes results in a persistent store under
+//! `results/.cache/` (see the `store` module).
 
-use std::collections::HashMap;
+pub mod args;
+pub mod runner;
+pub mod store;
 
-use system_sim::{run_alone, Mechanism, SystemConfig};
-use trace_gen::Benchmark;
+pub use crate::args::BenchArgs;
+pub use crate::runner::{AloneIpcCache, RunUnit, Runner};
+pub use crate::store::{unit_fingerprint, unit_key, ResultStore, StoreKey, STORE_SCHEMA_VERSION};
+
+use system_sim::{Mechanism, SystemConfig};
 
 /// How much work an experiment binary should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,19 +35,6 @@ pub enum Effort {
 }
 
 impl Effort {
-    /// Parses `--quick` / `--full` from the process arguments.
-    #[must_use]
-    pub fn from_args() -> Effort {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--quick") {
-            Effort::Quick
-        } else if args.iter().any(|a| a == "--full") {
-            Effort::Full
-        } else {
-            Effort::Default
-        }
-    }
-
     /// Number of multi-programmed mixes per core count (paper: 102 / 259 /
     /// 120 for 2 / 4 / 8 cores).
     #[must_use]
@@ -108,38 +104,6 @@ pub fn config_for(cores: usize, mechanism: Mechanism, effort: Effort) -> SystemC
     c
 }
 
-/// Computes (and memoizes) each benchmark's alone-IPC on the given system
-/// geometry under the Baseline mechanism — the denominator of every
-/// multi-core speedup metric.
-#[derive(Debug, Default)]
-pub struct AloneIpcCache {
-    cache: HashMap<(usize, Benchmark), f64>,
-}
-
-impl AloneIpcCache {
-    /// Creates an empty cache.
-    #[must_use]
-    pub fn new() -> Self {
-        AloneIpcCache::default()
-    }
-
-    /// Alone IPC of `benchmark` on an `cores`-core geometry.
-    pub fn get(&mut self, benchmark: Benchmark, cores: usize, effort: Effort) -> f64 {
-        *self.cache.entry((cores, benchmark)).or_insert_with(|| {
-            let config = config_for(cores, Mechanism::Baseline, effort);
-            run_alone(benchmark, &config).cores[0].ipc()
-        })
-    }
-
-    /// Alone IPCs for every benchmark of a mix, in mix order.
-    pub fn for_mix(&mut self, benchmarks: &[Benchmark], cores: usize, effort: Effort) -> Vec<f64> {
-        benchmarks
-            .iter()
-            .map(|&b| self.get(b, cores, effort))
-            .collect()
-    }
-}
-
 /// Prints an aligned table: a header row, then data rows. The first column
 /// is left-aligned, the rest right-aligned at `width`.
 pub fn print_table(first_width: usize, width: usize, header: &[String], rows: &[Vec<String>]) {
@@ -174,9 +138,25 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    parallel_map_jobs(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread cap (`--jobs N`);
+/// `None` uses all available cores. `Some(1)` degenerates to a serial
+/// loop — the knob `bench_harness` uses to measure what the flattened
+/// work-list scheduling buys.
+pub fn parallel_map_jobs<T, R, F>(items: &[T], jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(items.len().max(1));
     if threads <= 1 {
         return items.iter().map(f).collect();
@@ -211,20 +191,6 @@ where
         .collect()
 }
 
-/// Parses an optional `--seeds N` flag (default 1): experiments average
-/// their runs over N trace seeds, trading wall-clock for tighter
-/// estimates.
-#[must_use]
-pub fn seeds_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seeds")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
-}
-
 /// Formats a fraction as a signed percentage, e.g. `+13.2%`.
 #[must_use]
 pub fn pct(x: f64) -> String {
@@ -243,27 +209,11 @@ pub fn workspace_root() -> std::path::PathBuf {
         .to_path_buf()
 }
 
-/// Directory experiment binaries write machine-readable outputs to: the
-/// value of a `--out-dir PATH` argument if one was passed, otherwise
-/// `results/` under the workspace root (NOT the current directory).
-#[must_use]
-pub fn results_dir() -> std::path::PathBuf {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out-dir")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || workspace_root().join("results"),
-            std::path::PathBuf::from,
-        )
-}
-
-/// Writes rows as a tab-separated file under [`results_dir`] (creating the
-/// directory if needed), so the figures are machine-readable for plotting.
-/// Errors are reported to stderr, not fatal — the printed tables are the
-/// primary output.
-pub fn write_tsv(name: &str, header: &[String], rows: &[Vec<String>]) {
-    let dir = results_dir();
+/// Writes rows as a tab-separated file under `dir` — normally
+/// [`BenchArgs::results_dir`] — creating the directory if needed, so the
+/// figures are machine-readable for plotting. Errors are reported to
+/// stderr, not fatal — the printed tables are the primary output.
+pub fn write_tsv(dir: &std::path::Path, name: &str, header: &[String], rows: &[Vec<String>]) {
     let path = dir.join(name);
     let render = |cells: &[String]| cells.join("\t");
     let mut out = render(header);
@@ -272,7 +222,7 @@ pub fn write_tsv(name: &str, header: &[String], rows: &[Vec<String>]) {
         out.push_str(&render(row));
     }
     out.push('\n');
-    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, out)) {
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, out)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("wrote {}", path.display());

@@ -1,0 +1,353 @@
+//! The unified experiment runner: a work-list scheduler over simulation
+//! units, backed by the persistent result store.
+//!
+//! Binaries used to nest their loops — `for mechanism { for mix { run } }`
+//! — which parallelized (at best) across mixes while mechanisms ran
+//! serially. The runner inverts that structure: a binary flattens *all* of
+//! its `(mechanism × mix × seed)` points into one `Vec<RunUnit>` and hands
+//! the list to [`Runner::run_units`], which drives it through
+//! `parallel_map`. Mechanisms, mixes, and core counts all overlap; the
+//! wall clock is bounded by total work over available cores instead of by
+//! the slowest mechanism's serial leg.
+//!
+//! Each unit is first looked up in the [`ResultStore`]; only misses
+//! simulate, and their results are written back for every later binary
+//! (and rerun) to reuse. Observability: a progress/ETA line on stderr
+//! while a work list drains, and a machine-parseable summary at exit —
+//! `runner[NAME]: units=U hits=H sims=S ...` — that CI greps to assert a
+//! warm store performs zero simulations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use system_sim::{run_mix, Mechanism, MixResult, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+use crate::store::{unit_key, ResultStore, StoreKey};
+use crate::{parallel_map_jobs, BenchArgs};
+
+/// One schedulable simulation: a workload on a fully specified system.
+#[derive(Debug, Clone)]
+pub struct RunUnit {
+    /// The multi-programmed workload (one benchmark per core).
+    pub mix: WorkloadMix,
+    /// The complete system configuration.
+    pub config: SystemConfig,
+}
+
+impl RunUnit {
+    /// A unit running `mix` on `config`.
+    #[must_use]
+    pub fn new(mix: WorkloadMix, config: SystemConfig) -> RunUnit {
+        RunUnit { mix, config }
+    }
+
+    /// A single-benchmark unit (the shape of every alone-IPC baseline).
+    #[must_use]
+    pub fn alone(benchmark: Benchmark, config: SystemConfig) -> RunUnit {
+        RunUnit::new(WorkloadMix::new(vec![benchmark]), config)
+    }
+
+    fn key(&self) -> StoreKey {
+        unit_key(&self.config, self.mix.benchmarks())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    sims: AtomicU64,
+    sim_nanos: AtomicU64,
+    unit_max_nanos: AtomicU64,
+}
+
+/// The per-binary experiment runner. Construct one per `main`, submit
+/// every simulation through it, and it prints a cache/timing summary when
+/// dropped (or on an explicit [`Runner::finish`]).
+#[derive(Debug)]
+pub struct Runner {
+    name: String,
+    store: Option<ResultStore>,
+    jobs: Option<usize>,
+    start: Instant,
+    counters: Counters,
+    finished: AtomicBool,
+}
+
+impl Runner {
+    /// Creates a runner for the binary `name` (used in progress and
+    /// summary lines) from parsed arguments: `--cache-dir`/`--no-cache`
+    /// select the store, `--jobs` caps the worker threads.
+    #[must_use]
+    pub fn new(name: &str, args: &BenchArgs) -> Runner {
+        Runner {
+            name: name.to_string(),
+            store: args.store_dir().map(ResultStore::open),
+            jobs: args.jobs,
+            start: Instant::now(),
+            counters: Counters::default(),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Simulations performed (store misses) so far.
+    #[must_use]
+    pub fn sims(&self) -> u64 {
+        self.counters.sims.load(Ordering::Relaxed)
+    }
+
+    /// Store hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs one unit: store lookup, then simulate-and-save on a miss.
+    ///
+    /// Units with `config.check` set bypass the store entirely — checker
+    /// verdicts are not serializable, and cached runs would skip the very
+    /// verification the flag asks for.
+    #[must_use]
+    pub fn run_unit(&self, unit: &RunUnit) -> MixResult {
+        if unit.config.check {
+            return self.simulate(unit, None);
+        }
+        let key = unit.key();
+        if let Some(store) = &self.store {
+            if let Some(result) = store.load(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+        }
+        self.simulate(unit, Some(&key))
+    }
+
+    fn simulate(&self, unit: &RunUnit, key: Option<&StoreKey>) -> MixResult {
+        let t = Instant::now();
+        let result = run_mix(&unit.mix, &unit.config);
+        let nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.counters.sims.fetch_add(1, Ordering::Relaxed);
+        self.counters.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.counters
+            .unit_max_nanos
+            .fetch_max(nanos, Ordering::Relaxed);
+        if let (Some(store), Some(key)) = (&self.store, key) {
+            if let Err(e) = store.save(key, &result) {
+                eprintln!(
+                    "warning: could not write store entry {}: {e}",
+                    store.entry_path(key).display()
+                );
+            }
+        }
+        result
+    }
+
+    /// Drains a flattened work list in parallel, preserving input order in
+    /// the returned results, with a progress/ETA line on stderr.
+    #[must_use]
+    pub fn run_units(&self, phase: &str, units: &[RunUnit]) -> Vec<MixResult> {
+        if units.is_empty() {
+            return Vec::new();
+        }
+        let total = units.len();
+        let done = AtomicU64::new(0);
+        let started = Instant::now();
+        let hits_before = self.hits();
+        let progress = Progress::new();
+        let results = parallel_map_jobs(units, self.jobs, |unit| {
+            let result = self.run_unit(unit);
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let cached = self.hits() - hits_before;
+            let elapsed = started.elapsed().as_secs_f64();
+            // ETA from the units that actually simulated: store hits are
+            // near-free, so scale remaining work by the per-unit pace.
+            let eta = elapsed / d as f64 * (total - d as usize) as f64;
+            progress.report(
+                d as usize,
+                total,
+                &format!(
+                    "{}: {phase}: {d}/{total} units ({cached} cached) elapsed {} eta {}",
+                    self.name,
+                    fmt_secs(elapsed),
+                    fmt_secs(eta)
+                ),
+            );
+            result
+        });
+        progress.close();
+        results
+    }
+
+    /// Prints the end-of-run summary (idempotent; also invoked on drop).
+    /// The `sims=` field is the machine-readable contract: a warm-store
+    /// rerun must report `sims=0`.
+    pub fn finish(&self) {
+        if self.finished.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let sims = self.sims();
+        let sim_secs = self.counters.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let unit_max = self.counters.unit_max_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let unit_mean = if sims == 0 {
+            0.0
+        } else {
+            sim_secs / sims as f64
+        };
+        let store_desc = self.store.as_ref().map_or_else(
+            || "disabled".to_string(),
+            |s| format!("{} ({} entries)", s.dir().display(), s.entry_count()),
+        );
+        eprintln!(
+            "runner[{}]: units={} hits={} sims={} sim_wall={} unit_mean={} unit_max={} wall={} store={}",
+            self.name,
+            self.hits() + sims,
+            self.hits(),
+            sims,
+            fmt_secs(sim_secs),
+            fmt_secs(unit_mean),
+            fmt_secs(unit_max),
+            fmt_secs(self.start.elapsed().as_secs_f64()),
+            store_desc
+        );
+    }
+}
+
+impl Drop for Runner {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// Stderr progress line: rewritten in place on a terminal, throttled to
+/// ~5% steps when stderr is redirected (CI logs).
+struct Progress {
+    tty: bool,
+    lock: std::sync::Mutex<()>,
+}
+
+impl Progress {
+    fn new() -> Progress {
+        use std::io::IsTerminal;
+        Progress {
+            tty: std::io::stderr().is_terminal(),
+            lock: std::sync::Mutex::new(()),
+        }
+    }
+
+    fn report(&self, done: usize, total: usize, line: &str) {
+        let _guard = self.lock.lock().expect("progress lock");
+        if self.tty {
+            eprint!("\r{line}\u{1b}[K");
+        } else {
+            let step = (total / 20).max(1);
+            if done.is_multiple_of(step) || done == total {
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    fn close(&self) {
+        if self.tty {
+            eprintln!();
+        }
+    }
+}
+
+/// Alone-IPC baselines, shared across every binary and persisted through
+/// the runner's store.
+///
+/// Keys are `(benchmark, full baseline config)` — not just the core
+/// count — so binaries that vary cache size, replacement policy, or DRAM
+/// channel count (Table 7, the channels ablation) get correctly separated
+/// baselines from the same API.
+#[derive(Debug)]
+pub struct AloneIpcCache<'r> {
+    runner: &'r Runner,
+    map: std::sync::Mutex<std::collections::HashMap<(Benchmark, u64), f64>>,
+}
+
+impl<'r> AloneIpcCache<'r> {
+    /// Creates an empty cache submitting its runs through `runner`.
+    #[must_use]
+    pub fn new(runner: &'r Runner) -> Self {
+        AloneIpcCache {
+            runner,
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The alone-run configuration derived from `config`: same geometry
+    /// and run lengths, mechanism forced to Baseline (the denominator of
+    /// every speedup metric is measured under the Baseline).
+    fn alone_config(config: &SystemConfig) -> SystemConfig {
+        let mut c = config.clone();
+        c.mechanism = Mechanism::Baseline;
+        c
+    }
+
+    fn key(benchmark: Benchmark, alone: &SystemConfig) -> (Benchmark, u64) {
+        (benchmark, unit_key(alone, &[benchmark]).hash)
+    }
+
+    /// Computes every distinct alone baseline appearing in `mixes` in one
+    /// parallel pass (each also lands in the persistent store). Call this
+    /// before the per-mix loop; [`AloneIpcCache::get`] then never
+    /// simulates serially.
+    pub fn prime(&self, mixes: &[WorkloadMix], config: &SystemConfig) {
+        let alone = Self::alone_config(config);
+        let mut pending = Vec::new();
+        {
+            let map = self.map.lock().expect("alone-IPC map lock");
+            for mix in mixes {
+                for &b in mix.benchmarks() {
+                    if !map.contains_key(&Self::key(b, &alone)) && !pending.contains(&b) {
+                        pending.push(b);
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let units: Vec<RunUnit> = pending
+            .iter()
+            .map(|&b| RunUnit::alone(b, alone.clone()))
+            .collect();
+        let results = self.runner.run_units("alone baselines", &units);
+        let mut map = self.map.lock().expect("alone-IPC map lock");
+        for (&b, r) in pending.iter().zip(&results) {
+            map.insert(Self::key(b, &alone), r.cores[0].ipc());
+        }
+    }
+
+    /// Alone IPC of `benchmark` on `config`'s geometry (Baseline
+    /// mechanism), simulating on demand if not primed.
+    pub fn get(&self, benchmark: Benchmark, config: &SystemConfig) -> f64 {
+        let alone = Self::alone_config(config);
+        let key = Self::key(benchmark, &alone);
+        if let Some(&ipc) = self.map.lock().expect("alone-IPC map lock").get(&key) {
+            return ipc;
+        }
+        let result = self.runner.run_unit(&RunUnit::alone(benchmark, alone));
+        let ipc = result.cores[0].ipc();
+        self.map
+            .lock()
+            .expect("alone-IPC map lock")
+            .insert(key, ipc);
+        ipc
+    }
+
+    /// Alone IPCs for every benchmark of a mix, in mix order.
+    pub fn for_mix(&self, benchmarks: &[Benchmark], config: &SystemConfig) -> Vec<f64> {
+        benchmarks.iter().map(|&b| self.get(b, config)).collect()
+    }
+}

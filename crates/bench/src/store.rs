@@ -1,0 +1,445 @@
+//! Persistent, content-addressed store for simulation results.
+//!
+//! Every `(SystemConfig, workload)` pair maps to a stable 64-bit key: the
+//! FNV-1a hash of a canonical *fingerprint* string that spells out every
+//! field the simulation reads — geometry, latencies, DBI and DRAM
+//! parameters, run lengths, the trace seed — plus the benchmark list and a
+//! schema version. Identical experiments across binaries (and across
+//! process invocations) therefore share one entry under the store
+//! directory, `results/.cache/` by default.
+//!
+//! Entries are plain-text files with exact bit-level `f64` encoding, a
+//! copy of the fingerprint (so a hash collision or a schema change can
+//! never serve the wrong result), and a trailing `end` marker. Anything
+//! that fails to parse — a truncated write, a corrupted file, a
+//! fingerprint mismatch — is treated as a miss and recomputed; writes go
+//! through a temporary file plus atomic rename so concurrent processes
+//! never observe partial entries.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use system_sim::{CoreResult, MixResult, SystemConfig};
+use trace_gen::Benchmark;
+
+/// Bump whenever the fingerprint grammar or the entry serialization
+/// changes: old entries then miss (their embedded fingerprint no longer
+/// matches) and are recomputed rather than misread.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+const ENTRY_MAGIC: &str = "dbi-bench-result";
+
+/// The content address of one simulation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreKey {
+    /// FNV-1a hash of the fingerprint — the entry's file name.
+    pub hash: u64,
+    /// Canonical description of everything the simulation depends on.
+    pub fingerprint: String,
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn f64_bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64_bits(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Canonical single-line description of a simulation unit: every
+/// `SystemConfig` field the simulator reads, plus the workload.
+///
+/// The config is fully destructured so that adding a field to
+/// `SystemConfig` (or any nested config struct with public fields) fails
+/// to compile here — forcing the fingerprint, and with it
+/// [`STORE_SCHEMA_VERSION`], to be revisited rather than silently serving
+/// stale entries.
+#[must_use]
+pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> String {
+    let SystemConfig {
+        cores,
+        mechanism,
+        llc_bytes_per_core,
+        llc_ways,
+        llc_replacement,
+        l1_bytes,
+        l1_ways,
+        l2_bytes,
+        l2_ways,
+        block_bytes,
+        latencies,
+        dbi,
+        dram,
+        window_insts,
+        mshrs,
+        predictor_epoch_cycles,
+        predictor_threshold,
+        awb_rewrite_filter,
+        l2_dbi,
+        warmup_insts,
+        measure_insts,
+        seed,
+        check,
+    } = config;
+    let system_sim::Latencies {
+        l1,
+        l2,
+        llc_tag,
+        llc_data,
+        dbi: dbi_lat,
+        llc_tag_occupancy,
+    } = latencies;
+    let system_sim::DbiParams {
+        alpha,
+        granularity,
+        associativity,
+        policy,
+    } = dbi;
+    let dram_sim::DramConfig {
+        timing,
+        mapping,
+        write_buffer_capacity,
+        channels,
+        drain_policy,
+        refresh,
+        energy,
+    } = dram;
+    let dram_sim::DramTiming {
+        t_rcd,
+        t_rp,
+        t_cl,
+        t_burst,
+        t_wr,
+        t_wtr,
+        t_rrd,
+        t_faw,
+    } = timing;
+    let dram_sim::EnergyModel {
+        activate_pj,
+        read_burst_pj,
+        write_burst_pj,
+        background_pj_per_cycle,
+    } = energy;
+    let drain = match drain_policy {
+        dram_sim::DrainPolicy::WhenFull => "when-full".to_string(),
+        dram_sim::DrainPolicy::Watermark { high, low } => format!("watermark:{high}:{low}"),
+    };
+    let mix = benchmarks
+        .iter()
+        .map(|b| b.label())
+        .collect::<Vec<_>>()
+        .join("+");
+    format!(
+        "schema={} mix={mix} cores={cores} mech={mechanism} llc_b={llc_bytes_per_core} \
+         llc_w={llc_ways} repl={llc_replacement:?} l1_b={l1_bytes} l1_w={l1_ways} \
+         l2_b={l2_bytes} l2_w={l2_ways} blk={block_bytes} \
+         lat={l1}:{l2}:{llc_tag}:{llc_data}:{dbi_lat}:{llc_tag_occupancy} \
+         dbi={}/{}:{granularity}:{associativity}:{} \
+         dram_t={t_rcd}:{t_rp}:{t_cl}:{t_burst}:{t_wr}:{t_wtr}:{t_rrd}:{t_faw} \
+         dram_map={}:{} wbuf={write_buffer_capacity} chan={channels} drain={drain} \
+         refresh={refresh} energy={}:{}:{}:{} window={window_insts} mshrs={mshrs} \
+         pred={predictor_epoch_cycles}:{} awbf={awb_rewrite_filter} l2dbi={l2_dbi} \
+         warmup={warmup_insts} measure={measure_insts} seed={seed} check={check}",
+        STORE_SCHEMA_VERSION,
+        alpha.numerator(),
+        alpha.denominator(),
+        policy.label(),
+        mapping.banks(),
+        mapping.blocks_per_row(),
+        f64_bits(*activate_pj),
+        f64_bits(*read_burst_pj),
+        f64_bits(*write_burst_pj),
+        f64_bits(*background_pj_per_cycle),
+        f64_bits(*predictor_threshold),
+    )
+}
+
+/// Computes the content address of one simulation unit.
+#[must_use]
+pub fn unit_key(config: &SystemConfig, benchmarks: &[Benchmark]) -> StoreKey {
+    let fingerprint = unit_fingerprint(config, benchmarks);
+    StoreKey {
+        hash: fnv1a(fingerprint.as_bytes()),
+        fingerprint,
+    }
+}
+
+/// A directory of serialized [`MixResult`]s, addressed by [`StoreKey`].
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (without touching the filesystem) a store rooted at `dir`.
+    /// The directory is created on the first [`ResultStore::save`].
+    #[must_use]
+    pub fn open(dir: PathBuf) -> ResultStore {
+        ResultStore { dir }
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    #[must_use]
+    pub fn entry_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.entry", key.hash))
+    }
+
+    /// Loads the result stored under `key`, or `None` on any miss:
+    /// absent, truncated, corrupted, schema-mismatched, or
+    /// fingerprint-collided entries all recompute.
+    #[must_use]
+    pub fn load(&self, key: &StoreKey) -> Option<MixResult> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        deserialize(&text, key)
+    }
+
+    /// Serializes `result` under `key` (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat them as non-fatal (the result
+    /// is still in hand, only the cache write is lost).
+    pub fn save(&self, key: &StoreKey, result: &MixResult) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{:016x}-{}", key.hash, std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serialize(key, result).as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Number of entries currently in the store (for summaries; 0 if the
+    /// directory does not exist yet).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir).map_or(0, |rd| {
+            rd.filter(|e| {
+                e.as_ref()
+                    .map(|e| e.path().extension().is_some_and(|x| x == "entry"))
+                    .unwrap_or(false)
+            })
+            .count()
+        })
+    }
+}
+
+fn serialize(key: &StoreKey, result: &MixResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{ENTRY_MAGIC} v{STORE_SCHEMA_VERSION}\n"));
+    out.push_str(&format!("fingerprint {}\n", key.fingerprint));
+    out.push_str(&format!("cores {}\n", result.cores.len()));
+    for c in &result.cores {
+        out.push_str(&format!(
+            "core {} {} {} {} {} {}\n",
+            c.benchmark, c.insts, c.cycles, c.llc_reads, c.llc_read_misses, c.dram_writes
+        ));
+    }
+    let llc = &result.llc;
+    out.push_str(&format!(
+        "llc {} {} {} {} {} {} {}\n",
+        llc.tag_lookups,
+        llc.demand_reads,
+        llc.demand_hits,
+        llc.bypasses,
+        llc.writebacks_received,
+        llc.sweep_writebacks,
+        llc.dbi_eviction_writebacks
+    ));
+    out.push_str("llc_writes");
+    for w in &llc.dram_writes_per_core {
+        out.push_str(&format!(" {w}"));
+    }
+    out.push('\n');
+    let d = &result.dram;
+    out.push_str(&format!(
+        "dram {} {} {} {} {} {} {} {} {} {}\n",
+        d.reads,
+        d.read_row_hits,
+        d.buffer_forwards,
+        d.writes,
+        d.write_row_hits,
+        d.activates,
+        d.drains,
+        d.refresh_stalls,
+        d.drain_cycles,
+        d.coalesced_writes
+    ));
+    let e = &result.energy;
+    out.push_str(&format!(
+        "energy {} {} {} {}\n",
+        f64_bits(e.activate_pj),
+        f64_bits(e.read_pj),
+        f64_bits(e.write_pj),
+        f64_bits(e.background_pj)
+    ));
+    match &result.dbi {
+        None => out.push_str("dbi none\n"),
+        Some(s) => out.push_str(&format!(
+            "dbi {} {} {} {} {} {} {} {}\n",
+            s.mark_requests,
+            s.entry_hits,
+            s.bits_set,
+            s.entry_insertions,
+            s.entry_evictions,
+            s.eviction_writebacks,
+            s.bits_cleared,
+            s.entry_invalidations
+        )),
+    }
+    match &result.rewrite_filter {
+        None => out.push_str("rewrite none\n"),
+        Some(s) => out.push_str(&format!(
+            "rewrite {} {} {}\n",
+            s.suppressed_sweeps, s.allowed_sweeps, s.rewrites_observed
+        )),
+    }
+    out.push_str(&format!("records {}\n", result.records_processed));
+    out.push_str("end\n");
+    out
+}
+
+/// Strict line-oriented parser: any deviation returns `None` (a miss).
+fn deserialize(text: &str, key: &StoreKey) -> Option<MixResult> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("{ENTRY_MAGIC} v{STORE_SCHEMA_VERSION}") {
+        return None;
+    }
+    let fingerprint = lines.next()?.strip_prefix("fingerprint ")?;
+    if fingerprint != key.fingerprint {
+        return None; // hash collision or schema drift — never serve it
+    }
+    let n_cores: usize = lines.next()?.strip_prefix("cores ")?.parse().ok()?;
+    // Mix sizes are 1–64 cores; anything else is corruption.
+    if !(1..=64).contains(&n_cores) {
+        return None;
+    }
+    let mut cores = Vec::with_capacity(n_cores);
+    for _ in 0..n_cores {
+        let mut it = lines.next()?.strip_prefix("core ")?.split(' ');
+        let benchmark = it.next()?.to_string();
+        let mut next_u64 = || it.next().and_then(|v| v.parse::<u64>().ok());
+        cores.push(CoreResult {
+            benchmark,
+            insts: next_u64()?,
+            cycles: next_u64()?,
+            llc_reads: next_u64()?,
+            llc_read_misses: next_u64()?,
+            dram_writes: next_u64()?,
+        });
+    }
+    // The stats structs are #[non_exhaustive], so they are built from
+    // Default plus per-field assignment. A field added upstream is NOT a
+    // compile error here the way SystemConfig fields are in
+    // `unit_fingerprint` — serialization coverage is instead guarded by
+    // the bit-identical warm-rerun test, and any extension requires a
+    // STORE_SCHEMA_VERSION bump.
+    let llc_fields = parse_u64s(lines.next()?.strip_prefix("llc ")?, 7)?;
+    let writes_line = lines.next()?.strip_prefix("llc_writes")?;
+    let dram_writes_per_core: Vec<u64> = if writes_line.is_empty() {
+        Vec::new()
+    } else {
+        writes_line
+            .trim_start()
+            .split(' ')
+            .map(|v| v.parse::<u64>().ok())
+            .collect::<Option<Vec<u64>>>()?
+    };
+    let mut llc = system_sim::LlcStats::default();
+    llc.tag_lookups = llc_fields[0];
+    llc.demand_reads = llc_fields[1];
+    llc.demand_hits = llc_fields[2];
+    llc.bypasses = llc_fields[3];
+    llc.writebacks_received = llc_fields[4];
+    llc.sweep_writebacks = llc_fields[5];
+    llc.dbi_eviction_writebacks = llc_fields[6];
+    llc.dram_writes_per_core = dram_writes_per_core;
+    let d = parse_u64s(lines.next()?.strip_prefix("dram ")?, 10)?;
+    let mut dram = dram_sim::DramStats::default();
+    dram.reads = d[0];
+    dram.read_row_hits = d[1];
+    dram.buffer_forwards = d[2];
+    dram.writes = d[3];
+    dram.write_row_hits = d[4];
+    dram.activates = d[5];
+    dram.drains = d[6];
+    dram.refresh_stalls = d[7];
+    dram.drain_cycles = d[8];
+    dram.coalesced_writes = d[9];
+    let mut e = lines.next()?.strip_prefix("energy ")?.split(' ');
+    let mut next_f64 = || e.next().and_then(parse_f64_bits);
+    let mut energy = dram_sim::DramEnergy::default();
+    energy.activate_pj = next_f64()?;
+    energy.read_pj = next_f64()?;
+    energy.write_pj = next_f64()?;
+    energy.background_pj = next_f64()?;
+    let dbi_line = lines.next()?.strip_prefix("dbi ")?;
+    let dbi = if dbi_line == "none" {
+        None
+    } else {
+        let s = parse_u64s(dbi_line, 8)?;
+        let mut stats = dbi::DbiStats::default();
+        stats.mark_requests = s[0];
+        stats.entry_hits = s[1];
+        stats.bits_set = s[2];
+        stats.entry_insertions = s[3];
+        stats.entry_evictions = s[4];
+        stats.eviction_writebacks = s[5];
+        stats.bits_cleared = s[6];
+        stats.entry_invalidations = s[7];
+        Some(stats)
+    };
+    let rw_line = lines.next()?.strip_prefix("rewrite ")?;
+    let rewrite_filter = if rw_line == "none" {
+        None
+    } else {
+        let s = parse_u64s(rw_line, 3)?;
+        let mut stats = cache_sim::lastwrite::RewriteFilterStats::default();
+        stats.suppressed_sweeps = s[0];
+        stats.allowed_sweeps = s[1];
+        stats.rewrites_observed = s[2];
+        Some(stats)
+    };
+    let records_processed: u64 = lines.next()?.strip_prefix("records ")?.parse().ok()?;
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(MixResult {
+        cores,
+        llc,
+        dram,
+        energy,
+        dbi,
+        rewrite_filter,
+        check: None,
+        records_processed,
+    })
+}
+
+fn parse_u64s(s: &str, n: usize) -> Option<Vec<u64>> {
+    let vals: Vec<u64> = s
+        .split(' ')
+        .map(|v| v.parse::<u64>().ok())
+        .collect::<Option<Vec<u64>>>()?;
+    (vals.len() == n).then_some(vals)
+}

@@ -1,0 +1,258 @@
+//! Integration tests for the persistent result store and the experiment
+//! runner: key stability, corruption fallback, and bit-identical warm
+//! replays.
+
+use std::path::PathBuf;
+
+use dbi_bench::{unit_key, BenchArgs, ResultStore, RunUnit, Runner};
+use system_sim::{Mechanism, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+/// A configuration small enough that a store miss costs milliseconds.
+fn tiny_config(mechanism: Mechanism) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(1, mechanism);
+    c.warmup_insts = 20_000;
+    c.measure_insts = 50_000;
+    c
+}
+
+/// Per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("dbi-bench-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn args(&self) -> BenchArgs {
+        BenchArgs {
+            cache_dir: Some(self.0.clone()),
+            ..BenchArgs::default()
+        }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn same_config_same_key() {
+    let a = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Lbm]);
+    let b = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Lbm]);
+    assert_eq!(a.hash, b.hash);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
+fn any_simulated_field_changes_the_key() {
+    let base = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Lbm]);
+    let mut keys = vec![base.hash];
+
+    let variants: Vec<SystemConfig> = vec![
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.seed = c.seed.wrapping_add(1);
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.llc_bytes_per_core *= 2;
+            c
+        },
+        tiny_config(Mechanism::Dawb),
+        tiny_config(Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        }),
+        tiny_config(Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        }),
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.dbi.granularity *= 2;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.dram.channels += 1;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.dram.drain_policy = dram_sim::DrainPolicy::Watermark { high: 48, low: 16 };
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.llc_replacement = cache_sim::ReplacementKind::Rrip;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.warmup_insts += 1;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.measure_insts += 1;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.predictor_threshold += 0.001;
+            c
+        },
+        {
+            let mut c = tiny_config(Mechanism::Baseline);
+            c.awb_rewrite_filter = !c.awb_rewrite_filter;
+            c
+        },
+    ];
+    for config in &variants {
+        keys.push(unit_key(config, &[Benchmark::Lbm]).hash);
+    }
+    // The workload is part of the key too.
+    keys.push(unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Mcf]).hash);
+    keys.push(
+        unit_key(
+            &tiny_config(Mechanism::Baseline),
+            &[Benchmark::Lbm, Benchmark::Mcf],
+        )
+        .hash,
+    );
+
+    let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        keys.len(),
+        "keys must all differ: {keys:x?}"
+    );
+}
+
+#[test]
+fn store_round_trips_every_field() {
+    let scratch = Scratch::new("roundtrip");
+    let config = tiny_config(Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    });
+    let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
+    let result = system_sim::run_mix(&mix, &config);
+    let key = unit_key(&config, mix.benchmarks());
+
+    let store = ResultStore::open(scratch.0.clone());
+    store.save(&key, &result).expect("save");
+    let loaded = store.load(&key).expect("load just-saved entry");
+
+    // MixResult carries no PartialEq; the Debug rendering covers every
+    // field, so equal strings mean equal results bit for bit.
+    assert_eq!(format!("{result:?}"), format!("{loaded:?}"));
+    assert_eq!(store.entry_count(), 1);
+}
+
+#[test]
+fn corrupt_or_truncated_entries_fall_back_to_recompute() {
+    let scratch = Scratch::new("corrupt");
+    let unit = RunUnit::alone(Benchmark::Lbm, tiny_config(Mechanism::Baseline));
+
+    let cold = Runner::new("test-corrupt", &scratch.args());
+    let first = cold.run_unit(&unit);
+    assert_eq!((cold.sims(), cold.hits()), (1, 0));
+
+    let store = ResultStore::open(scratch.0.clone());
+    let path = store.entry_path(&unit_key(&unit.config, unit.mix.benchmarks()));
+    let full = std::fs::read_to_string(&path).expect("entry written");
+
+    for (tag, text) in [
+        ("truncated", &full[..full.len() / 2]),
+        ("binary garbage", "\u{0}\u{1}\u{2}nonsense"),
+        ("bad magic", "dbi-bench-result v999\njunk\nend\n"),
+        ("empty", ""),
+    ] {
+        std::fs::write(&path, text).unwrap();
+        let warm = Runner::new("test-corrupt2", &scratch.args());
+        let recomputed = warm.run_unit(&unit);
+        assert_eq!(
+            (warm.sims(), warm.hits()),
+            (1, 0),
+            "{tag} entry must be a miss"
+        );
+        assert_eq!(format!("{first:?}"), format!("{recomputed:?}"));
+    }
+
+    // The recompute overwrote the corrupt entry; now it hits again.
+    let healed = Runner::new("test-corrupt3", &scratch.args());
+    let _ = healed.run_unit(&unit);
+    assert_eq!((healed.sims(), healed.hits()), (0, 1));
+}
+
+#[test]
+fn warm_rerun_is_bit_identical_and_simulates_nothing() {
+    let scratch = Scratch::new("warm");
+    let units: Vec<RunUnit> = [Benchmark::Lbm, Benchmark::Mcf, Benchmark::Stream]
+        .iter()
+        .map(|&b| {
+            RunUnit::alone(
+                b,
+                tiny_config(Mechanism::Dbi {
+                    awb: true,
+                    clb: false,
+                }),
+            )
+        })
+        .collect();
+    // The rows a TSV-writing binary would derive from the results.
+    let rows = |results: &[system_sim::MixResult]| -> Vec<String> {
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:.3}\t{:.2}\t{}\t{}",
+                    r.cores[0].ipc(),
+                    r.wpki(),
+                    r.dram.writes,
+                    f64::to_bits(r.energy.total_pj())
+                )
+            })
+            .collect()
+    };
+
+    let cold = Runner::new("test-cold", &scratch.args());
+    let cold_rows = rows(&cold.run_units("cold", &units));
+    assert_eq!((cold.sims(), cold.hits()), (3, 0));
+
+    let warm = Runner::new("test-warm", &scratch.args());
+    let warm_rows = rows(&warm.run_units("warm", &units));
+    assert_eq!(
+        (warm.sims(), warm.hits()),
+        (0, 3),
+        "warm store must serve every unit"
+    );
+    assert_eq!(cold_rows, warm_rows);
+}
+
+#[test]
+fn check_runs_bypass_the_store() {
+    let scratch = Scratch::new("check");
+    let mut config = tiny_config(Mechanism::Baseline);
+    config.check = true;
+    let unit = RunUnit::alone(Benchmark::Lbm, config);
+
+    for _ in 0..2 {
+        let runner = Runner::new("test-check", &scratch.args());
+        let result = runner.run_unit(&unit);
+        assert_eq!(
+            (runner.sims(), runner.hits()),
+            (1, 0),
+            "check runs must always simulate"
+        );
+        assert!(result.check.is_some(), "checker verdict must be present");
+    }
+}
