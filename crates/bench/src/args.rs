@@ -12,6 +12,8 @@
 
 use std::path::PathBuf;
 
+use system_sim::{FaultClass, FaultPlan, SystemConfig};
+
 use crate::{workspace_root, Effort};
 
 /// Usage text printed on `--help` and on any parse error.
@@ -28,6 +30,16 @@ Common options for every dbi-bench experiment binary:
                       (every unit simulates, nothing is written back)
     --jobs N          worker threads for the experiment runner
                       (default: all available cores)
+    --check           enable the shadow-memory checker and the online
+                      invariant sanitizer on every unit (such units
+                      bypass the result store)
+    --fault CLASS     inject one deterministic fault per unit; CLASS is
+                      drop-writeback, flip-dbi-bit, skip-drain, or
+                      stale-ssv (faulted units bypass the store)
+    --fault-seed N    seed selecting the fault's firing point (default 1)
+    --watchdog SECS   per-unit wall-clock limit: a unit exceeding it is
+                      retried once, then quarantined (default 600,
+                      0 disables the watchdog)
     --help            print this help
 ";
 
@@ -46,6 +58,14 @@ pub struct BenchArgs {
     pub no_cache: bool,
     /// Worker-thread override for the runner (`--jobs N`).
     pub jobs: Option<usize>,
+    /// Force the shadow-memory checker + invariant sanitizer (`--check`).
+    pub check: bool,
+    /// Fault class to inject into every unit (`--fault CLASS`).
+    pub fault: Option<FaultClass>,
+    /// Seed selecting the fault's firing point (`--fault-seed N`).
+    pub fault_seed: u64,
+    /// Per-unit wall-clock limit in seconds; 0 disables (`--watchdog`).
+    pub watchdog_secs: u64,
 }
 
 impl Default for BenchArgs {
@@ -57,6 +77,10 @@ impl Default for BenchArgs {
             cache_dir: None,
             no_cache: false,
             jobs: None,
+            check: false,
+            fault: None,
+            fault_seed: 1,
+            watchdog_secs: 600,
         }
     }
 }
@@ -134,6 +158,23 @@ impl BenchArgs {
                             format!("--jobs needs a positive integer, got '{v}'")
                         })?);
                 }
+                "--check" => args.check = true,
+                "--fault" => {
+                    let v = value("--fault")?;
+                    args.fault = Some(FaultClass::parse(&v)?);
+                }
+                "--fault-seed" => {
+                    let v = value("--fault-seed")?;
+                    args.fault_seed = v
+                        .parse()
+                        .map_err(|_| format!("--fault-seed needs an integer, got '{v}'"))?;
+                }
+                "--watchdog" => {
+                    let v = value("--watchdog")?;
+                    args.watchdog_secs = v
+                        .parse()
+                        .map_err(|_| format!("--watchdog needs a number of seconds, got '{v}'"))?;
+                }
                 "--help" | "-h" => return Err(format!("usage requested\n\n{USAGE}")),
                 other if extra_value_flags.contains(&other) => {
                     extras.push((other.to_string(), value(other)?));
@@ -151,6 +192,32 @@ impl BenchArgs {
         self.out_dir
             .clone()
             .unwrap_or_else(|| workspace_root().join("results"))
+    }
+
+    /// The fault plan requested on the command line, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+            .map(|class| FaultPlan::new(class, self.fault_seed))
+    }
+
+    /// The per-unit watchdog limit (`None` when disabled with 0).
+    #[must_use]
+    pub fn watchdog(&self) -> Option<std::time::Duration> {
+        (self.watchdog_secs > 0).then(|| std::time::Duration::from_secs(self.watchdog_secs))
+    }
+
+    /// Applies the robustness flags to a unit configuration: `--check`
+    /// turns on both the shadow-memory checker and the invariant
+    /// sanitizer, `--fault` installs the requested fault plan.
+    pub fn apply_robustness(&self, config: &mut SystemConfig) {
+        if self.check {
+            config.check = true;
+            config.sanitize = true;
+        }
+        if let Some(plan) = self.fault_plan() {
+            config.fault = Some(plan);
+        }
     }
 
     /// Directory of the persistent result store: `--cache-dir` if given,
@@ -225,6 +292,39 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(BenchArgs::try_parse(&argv(&["--jobs", "x"]), &[]).is_err());
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let (args, _) = BenchArgs::try_parse(
+            &argv(&["--check", "--fault", "skip-drain", "--fault-seed", "9"]),
+            &[],
+        )
+        .unwrap();
+        assert!(args.check);
+        assert_eq!(
+            args.fault_plan(),
+            Some(FaultPlan::new(FaultClass::SkipDrain, 9))
+        );
+        let mut config = SystemConfig::for_cores(1, system_sim::Mechanism::Baseline);
+        args.apply_robustness(&mut config);
+        assert!(config.check && config.sanitize);
+        assert_eq!(config.fault, Some(FaultPlan::new(FaultClass::SkipDrain, 9)));
+
+        assert!(BenchArgs::try_parse(&argv(&["--fault", "melt-cpu"]), &[])
+            .unwrap_err()
+            .contains("unknown fault class"));
+    }
+
+    #[test]
+    fn watchdog_flag_parses_and_zero_disables() {
+        let (args, _) = BenchArgs::try_parse(&[], &[]).unwrap();
+        assert_eq!(args.watchdog(), Some(std::time::Duration::from_secs(600)));
+        let (args, _) = BenchArgs::try_parse(&argv(&["--watchdog", "30"]), &[]).unwrap();
+        assert_eq!(args.watchdog(), Some(std::time::Duration::from_secs(30)));
+        let (args, _) = BenchArgs::try_parse(&argv(&["--watchdog", "0"]), &[]).unwrap();
+        assert_eq!(args.watchdog(), None);
+        assert!(BenchArgs::try_parse(&argv(&["--watchdog", "soon"]), &[]).is_err());
     }
 
     #[test]

@@ -143,6 +143,9 @@ fn run() -> Result<(), String> {
     config.measure_insts = insts;
     config.seed = seed;
     config.check = check;
+    // The two checkers validate complementary halves of the correctness
+    // contract (lost data vs. diverged tracking state); one flag runs both.
+    config.sanitize = check;
 
     let mix = WorkloadMix::new(benchmarks);
     eprintln!("running {mix} under {mechanism} ({cores} core(s), {llc_mb} MB/core LLC)...");
@@ -183,6 +186,16 @@ fn run() -> Result<(), String> {
         None => {}
         Some(Ok(())) => println!("check         : PASS (no dirty data lost)"),
         Some(Err(lost)) => return Err(format!("check FAILED: {} lost writes", lost.len())),
+    }
+    match &result.sanitizer {
+        None => {}
+        Some(report) if report.is_clean() => {
+            println!(
+                "sanitizer     : PASS ({} scans, {} shadow dirty blocks)",
+                report.scans, report.shadow_dirty_blocks
+            );
+        }
+        Some(report) => return Err(format!("sanitizer FAILED:\n{report}")),
     }
     Ok(())
 }

@@ -18,7 +18,7 @@ pub mod runner;
 pub mod store;
 
 pub use crate::args::BenchArgs;
-pub use crate::runner::{AloneIpcCache, RunUnit, Runner};
+pub use crate::runner::{AloneIpcCache, RunUnit, Runner, UnitFailure, UnitFault};
 pub use crate::store::{unit_fingerprint, unit_key, ResultStore, StoreKey, STORE_SCHEMA_VERSION};
 
 use system_sim::{Mechanism, SystemConfig};

@@ -16,11 +16,26 @@
 //! while a work list drains, and a machine-parseable summary at exit —
 //! `runner[NAME]: units=U hits=H sims=S ...` — that CI greps to assert a
 //! warm store performs zero simulations.
+//!
+//! # Crash tolerance
+//!
+//! A multi-hour sweep must not lose hours of completed work to one bad
+//! unit. Every simulation therefore runs under a guard: panics are caught
+//! ([`std::panic::catch_unwind`]) and, when a watchdog limit is set, the
+//! unit runs on its own thread so a wall-clock overrun can be detected
+//! (the overrunning thread is abandoned — threads cannot be killed — and
+//! its eventual result discarded). A failed unit gets exactly one retry;
+//! failing again *quarantines* it: the failure is recorded, every other
+//! unit still completes and reaches the store, and the process exits
+//! nonzero after printing its summary. The summary's `failed=K
+//! quarantined=[...]` fields, like `sims=`, are machine-parseable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use system_sim::{run_mix, Mechanism, MixResult, SystemConfig};
+use system_sim::{run_mix, FaultPlan, Mechanism, MixResult, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
@@ -62,6 +77,63 @@ struct Counters {
     unit_max_nanos: AtomicU64,
 }
 
+/// Why one attempt at a unit failed.
+#[derive(Debug, Clone)]
+pub enum UnitFault {
+    /// The simulation panicked; the payload's message is preserved.
+    Panicked(String),
+    /// The simulation exceeded the per-unit watchdog limit.
+    TimedOut(Duration),
+}
+
+impl std::fmt::Display for UnitFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitFault::Panicked(msg) => write!(f, "panicked: {msg}"),
+            UnitFault::TimedOut(limit) => {
+                write!(f, "exceeded the {:.0}s watchdog", limit.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// A quarantined unit: it failed every allowed attempt, the rest of its
+/// work list completed anyway.
+#[derive(Debug, Clone)]
+pub struct UnitFailure {
+    /// The phase label the unit was submitted under.
+    pub phase: String,
+    /// The unit's index within its work list.
+    pub index: usize,
+    /// Attempts made (always 2: the run and its one retry).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub fault: UnitFault,
+}
+
+impl std::fmt::Display for UnitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unit {} of '{}' quarantined after {} attempts: {}",
+            self.index, self.phase, self.attempts, self.fault
+        )
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload.downcast_ref::<&str>().map_or_else(
+        || {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        },
+        |s| (*s).to_string(),
+    )
+}
+
 /// The per-binary experiment runner. Construct one per `main`, submit
 /// every simulation through it, and it prints a cache/timing summary when
 /// dropped (or on an explicit [`Runner::finish`]).
@@ -70,25 +142,45 @@ pub struct Runner {
     name: String,
     store: Option<ResultStore>,
     jobs: Option<usize>,
+    /// `--check`: force checker + sanitizer onto every submitted unit.
+    check: bool,
+    /// `--fault`: inject this plan into every submitted unit.
+    fault: Option<FaultPlan>,
+    /// Per-unit wall-clock limit; `None` disables the watchdog.
+    watchdog: Option<Duration>,
     start: Instant,
     counters: Counters,
+    failures: Mutex<Vec<UnitFailure>>,
     finished: AtomicBool,
 }
 
 impl Runner {
     /// Creates a runner for the binary `name` (used in progress and
     /// summary lines) from parsed arguments: `--cache-dir`/`--no-cache`
-    /// select the store, `--jobs` caps the worker threads.
+    /// select the store, `--jobs` caps the worker threads, and
+    /// `--check`/`--fault`/`--watchdog` configure the robustness layer.
     #[must_use]
     pub fn new(name: &str, args: &BenchArgs) -> Runner {
         Runner {
             name: name.to_string(),
             store: args.store_dir().map(ResultStore::open),
             jobs: args.jobs,
+            check: args.check,
+            fault: args.fault_plan(),
+            watchdog: args.watchdog(),
             start: Instant::now(),
             counters: Counters::default(),
+            failures: Mutex::new(Vec::new()),
             finished: AtomicBool::new(false),
         }
+    }
+
+    /// Overrides the per-unit watchdog limit (tests exercise the timeout
+    /// path with millisecond limits; `None` disables the watchdog).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Option<Duration>) -> Runner {
+        self.watchdog = watchdog;
+        self
     }
 
     /// Simulations performed (store misses) so far.
@@ -103,29 +195,85 @@ impl Runner {
         self.counters.hits.load(Ordering::Relaxed)
     }
 
+    /// The unit as actually submitted: the runner-level `--check` /
+    /// `--fault` flags applied on top of the unit's own configuration.
+    fn effective(&self, unit: &RunUnit) -> RunUnit {
+        let mut unit = unit.clone();
+        if self.check {
+            unit.config.check = true;
+            unit.config.sanitize = true;
+        }
+        if let Some(plan) = self.fault {
+            unit.config.fault = Some(plan);
+        }
+        unit
+    }
+
     /// Runs one unit: store lookup, then simulate-and-save on a miss.
     ///
     /// Units with `config.check` set bypass the store entirely — checker
     /// verdicts are not serializable, and cached runs would skip the very
     /// verification the flag asks for.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a unit failure as a panic; quarantine semantics live in
+    /// [`Runner::try_run_units`].
     #[must_use]
     pub fn run_unit(&self, unit: &RunUnit) -> MixResult {
-        if unit.config.check {
-            return self.simulate(unit, None);
+        self.run_unit_outcome(unit)
+            .unwrap_or_else(|fault| panic!("runner[{}]: unguarded unit {fault}", self.name))
+    }
+
+    /// The guarded single-unit path shared by [`Runner::run_unit`] and
+    /// [`Runner::try_run_units`].
+    ///
+    /// Sanitized and faulted units bypass the store for the same reason
+    /// checked units always have: their reports are not serializable, and
+    /// a faulted result must never be served to a clean rerun.
+    fn run_unit_outcome(&self, unit: &RunUnit) -> Result<MixResult, UnitFault> {
+        let unit = self.effective(unit);
+        if unit.config.check || unit.config.sanitize || unit.config.fault.is_some() {
+            return self.simulate(&unit, None);
         }
         let key = unit.key();
         if let Some(store) = &self.store {
             if let Some(result) = store.load(&key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return result;
+                return Ok(result);
             }
         }
-        self.simulate(unit, Some(&key))
+        self.simulate(&unit, Some(&key))
     }
 
-    fn simulate(&self, unit: &RunUnit, key: Option<&StoreKey>) -> MixResult {
+    /// One guarded simulation attempt. Counters are only advanced and the
+    /// store only written for completed simulations; a panic or timeout
+    /// surfaces as `Err` instead of tearing the process (or the whole
+    /// work list) down.
+    fn simulate(&self, unit: &RunUnit, key: Option<&StoreKey>) -> Result<MixResult, UnitFault> {
         let t = Instant::now();
-        let result = run_mix(&unit.mix, &unit.config);
+        let result = match self.watchdog {
+            None => catch_unwind(AssertUnwindSafe(|| run_mix(&unit.mix, &unit.config)))
+                .map_err(|p| UnitFault::Panicked(panic_text(p.as_ref())))?,
+            Some(limit) => {
+                // The simulation runs on its own thread so an overrun is
+                // detectable; a thread cannot be killed, so on timeout it
+                // is abandoned and its eventual result discarded.
+                let (tx, rx) = std::sync::mpsc::channel();
+                let mix = unit.mix.clone();
+                let config = unit.config.clone();
+                std::thread::spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| run_mix(&mix, &config)))
+                        .map_err(|p| panic_text(p.as_ref()));
+                    let _ = tx.send(outcome);
+                });
+                match rx.recv_timeout(limit) {
+                    Ok(Ok(result)) => result,
+                    Ok(Err(msg)) => return Err(UnitFault::Panicked(msg)),
+                    Err(_) => return Err(UnitFault::TimedOut(limit)),
+                }
+            }
+        };
         let nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.counters.sims.fetch_add(1, Ordering::Relaxed);
         self.counters.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -140,23 +288,63 @@ impl Runner {
                 );
             }
         }
-        result
+        Ok(result)
     }
 
     /// Drains a flattened work list in parallel, preserving input order in
     /// the returned results, with a progress/ETA line on stderr.
+    ///
+    /// A unit that fails both its attempts is **fatal here**: the work
+    /// list still drains fully (completed results are already flushed to
+    /// the store), but the process then prints its summary and exits
+    /// nonzero — callers of this API assume one result per unit. Callers
+    /// that want to survive quarantines use [`Runner::try_run_units`].
     #[must_use]
     pub fn run_units(&self, phase: &str, units: &[RunUnit]) -> Vec<MixResult> {
+        let (results, failures) = self.try_run_units(phase, units);
+        if failures.is_empty() {
+            return results
+                .into_iter()
+                .map(|r| r.expect("no failures"))
+                .collect();
+        }
+        for failure in &failures {
+            eprintln!("runner[{}]: {failure}", self.name);
+        }
+        self.finish();
+        std::process::exit(1);
+    }
+
+    /// Like [`Runner::run_units`], but quarantines failing units instead
+    /// of exiting: each unit gets one retry, and a unit that fails twice
+    /// yields `None` in the results plus a [`UnitFailure`] describing why.
+    /// Every other unit completes and (on a store miss) is flushed to the
+    /// store before this returns, so a crashing sweep loses only the
+    /// quarantined units.
+    #[must_use]
+    pub fn try_run_units(
+        &self,
+        phase: &str,
+        units: &[RunUnit],
+    ) -> (Vec<Option<MixResult>>, Vec<UnitFailure>) {
         if units.is_empty() {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         let total = units.len();
         let done = AtomicU64::new(0);
         let started = Instant::now();
         let hits_before = self.hits();
         let progress = Progress::new();
-        let results = parallel_map_jobs(units, self.jobs, |unit| {
-            let result = self.run_unit(unit);
+        let indices: Vec<usize> = (0..total).collect();
+        let outcomes = parallel_map_jobs(&indices, self.jobs, |&i| {
+            let unit = &units[i];
+            let outcome = self.run_unit_outcome(unit).or_else(|first| {
+                eprintln!(
+                    "runner[{}]: {phase}: unit {i} {first}; retrying once",
+                    self.name
+                );
+                self.run_unit_outcome(unit)
+            });
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             let cached = self.hits() - hits_before;
             let elapsed = started.elapsed().as_secs_f64();
@@ -173,10 +361,30 @@ impl Runner {
                     fmt_secs(eta)
                 ),
             );
-            result
+            outcome.map_err(|fault| UnitFailure {
+                phase: phase.to_string(),
+                index: i,
+                attempts: 2,
+                fault,
+            })
         });
         progress.close();
-        results
+        let mut failures = Vec::new();
+        let results = outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(result) => Some(result),
+                Err(failure) => {
+                    failures.push(failure);
+                    None
+                }
+            })
+            .collect();
+        self.failures
+            .lock()
+            .expect("failure list lock")
+            .extend(failures.iter().cloned());
+        (results, failures)
     }
 
     /// Prints the end-of-run summary (idempotent; also invoked on drop).
@@ -198,15 +406,24 @@ impl Runner {
             || "disabled".to_string(),
             |s| format!("{} ({} entries)", s.dir().display(), s.entry_count()),
         );
+        let failures = self.failures.lock().expect("failure list lock");
+        let quarantined = failures
+            .iter()
+            .map(|f| format!("{}:{}", f.phase, f.index))
+            .collect::<Vec<_>>()
+            .join(",");
+        let corrupt = self.store.as_ref().map_or(0, ResultStore::corrupt_count);
         eprintln!(
-            "runner[{}]: units={} hits={} sims={} sim_wall={} unit_mean={} unit_max={} wall={} store={}",
+            "runner[{}]: units={} hits={} sims={} sim_wall={} unit_mean={} unit_max={} \
+             failed={} quarantined=[{quarantined}] corrupt={corrupt} wall={} store={}",
             self.name,
-            self.hits() + sims,
+            self.hits() + sims + failures.len() as u64,
             self.hits(),
             sims,
             fmt_secs(sim_secs),
             fmt_secs(unit_mean),
             fmt_secs(unit_max),
+            failures.len(),
             fmt_secs(self.start.elapsed().as_secs_f64()),
             store_desc
         );

@@ -18,6 +18,7 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use system_sim::{CoreResult, MixResult, SystemConfig};
 use trace_gen::Benchmark;
@@ -25,7 +26,7 @@ use trace_gen::Benchmark;
 /// Bump whenever the fingerprint grammar or the entry serialization
 /// changes: old entries then miss (their embedded fingerprint no longer
 /// matches) and are recomputed rather than misread.
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 const ENTRY_MAGIC: &str = "dbi-bench-result";
 
@@ -90,6 +91,9 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
         measure_insts,
         seed,
         check,
+        sanitize,
+        sanitize_interval,
+        fault,
     } = config;
     let system_sim::Latencies {
         l1,
@@ -139,6 +143,7 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
         .map(|b| b.label())
         .collect::<Vec<_>>()
         .join("+");
+    let fault = fault.map_or_else(|| "none".to_string(), |p| format!("{}:{}", p.class, p.seed));
     format!(
         "schema={} mix={mix} cores={cores} mech={mechanism} llc_b={llc_bytes_per_core} \
          llc_w={llc_ways} repl={llc_replacement:?} l1_b={l1_bytes} l1_w={l1_ways} \
@@ -149,7 +154,8 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
          dram_map={}:{} wbuf={write_buffer_capacity} chan={channels} drain={drain} \
          refresh={refresh} energy={}:{}:{}:{} window={window_insts} mshrs={mshrs} \
          pred={predictor_epoch_cycles}:{} awbf={awb_rewrite_filter} l2dbi={l2_dbi} \
-         warmup={warmup_insts} measure={measure_insts} seed={seed} check={check}",
+         warmup={warmup_insts} measure={measure_insts} seed={seed} check={check} \
+         sanitize={sanitize} sanint={sanitize_interval} fault={fault}",
         STORE_SCHEMA_VERSION,
         alpha.numerator(),
         alpha.denominator(),
@@ -178,6 +184,10 @@ pub fn unit_key(config: &SystemConfig, benchmarks: &[Benchmark]) -> StoreKey {
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
+    /// Entries whose file was present but failed to parse back — each one
+    /// is silently recomputed, but the count is surfaced in runner
+    /// summaries so store rot is visible instead of just slow.
+    corrupt: AtomicU64,
 }
 
 impl ResultStore {
@@ -185,7 +195,10 @@ impl ResultStore {
     /// The directory is created on the first [`ResultStore::save`].
     #[must_use]
     pub fn open(dir: PathBuf) -> ResultStore {
-        ResultStore { dir }
+        ResultStore {
+            dir,
+            corrupt: AtomicU64::new(0),
+        }
     }
 
     /// The store's directory.
@@ -206,7 +219,21 @@ impl ResultStore {
     #[must_use]
     pub fn load(&self, key: &StoreKey) -> Option<MixResult> {
         let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        deserialize(&text, key)
+        let result = deserialize(&text, key);
+        if result.is_none() {
+            // The file existed but did not parse back to a result under
+            // this key: truncation, corruption, schema drift, or a hash
+            // collision. All are recomputed; all are worth counting.
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Number of corrupt (present but unparseable) entries seen by
+    /// [`ResultStore::load`] over this store's lifetime.
+    #[must_use]
+    pub fn corrupt_count(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
     }
 
     /// Serializes `result` under `key` (atomically: temp file + rename).
@@ -432,6 +459,7 @@ fn deserialize(text: &str, key: &StoreKey) -> Option<MixResult> {
         dbi,
         rewrite_filter,
         check: None,
+        sanitizer: None,
         records_processed,
     })
 }

@@ -1,10 +1,11 @@
 //! Integration tests for the persistent result store and the experiment
-//! runner: key stability, corruption fallback, and bit-identical warm
-//! replays.
+//! runner: key stability, corruption fallback, bit-identical warm
+//! replays, and the crash-tolerance layer (quarantine, watchdog, retry).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use dbi_bench::{unit_key, BenchArgs, ResultStore, RunUnit, Runner};
+use dbi_bench::{unit_key, BenchArgs, ResultStore, RunUnit, Runner, UnitFault};
 use system_sim::{Mechanism, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
@@ -236,6 +237,95 @@ fn warm_rerun_is_bit_identical_and_simulates_nothing() {
         "warm store must serve every unit"
     );
     assert_eq!(cold_rows, warm_rows);
+}
+
+#[test]
+fn panicking_unit_is_quarantined_while_the_rest_complete() {
+    let scratch = Scratch::new("quarantine");
+    // `measure_insts = 0` trips the simulator's own precondition assert —
+    // a deliberate in-simulation panic, exactly the failure mode the
+    // quarantine exists for.
+    let mut poison_config = tiny_config(Mechanism::Baseline);
+    poison_config.measure_insts = 0;
+    let units = vec![
+        RunUnit::alone(Benchmark::Lbm, tiny_config(Mechanism::Baseline)),
+        RunUnit::alone(Benchmark::Lbm, poison_config),
+        RunUnit::alone(Benchmark::Mcf, tiny_config(Mechanism::Baseline)),
+    ];
+
+    let runner = Runner::new("test-quarantine", &scratch.args());
+    let (results, failures) = runner.try_run_units("poisoned", &units);
+
+    assert!(results[0].is_some(), "unit before the poison completes");
+    assert!(results[1].is_none(), "the poison unit is quarantined");
+    assert!(results[2].is_some(), "unit after the poison completes");
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].index, 1);
+    assert_eq!(failures[0].attempts, 2, "one retry before quarantine");
+    match &failures[0].fault {
+        UnitFault::Panicked(msg) => {
+            assert!(
+                msg.contains("measurement window"),
+                "panic message preserved, got: {msg}"
+            );
+        }
+        other => panic!("expected a panic fault, got {other}"),
+    }
+
+    // The completed units reached the persistent store despite the
+    // quarantine: a fresh runner serves both without simulating.
+    let warm = Runner::new("test-quarantine-warm", &scratch.args());
+    let _ = warm.run_unit(&units[0]);
+    let _ = warm.run_unit(&units[2]);
+    assert_eq!((warm.sims(), warm.hits()), (0, 2));
+}
+
+#[test]
+fn watchdog_timeout_quarantines_after_one_retry() {
+    let scratch = Scratch::new("watchdog");
+    // Big enough that a millisecond watchdog always trips first.
+    let mut slow_config = tiny_config(Mechanism::Baseline);
+    slow_config.warmup_insts = 2_000_000;
+    slow_config.measure_insts = 8_000_000;
+    let units = vec![RunUnit::alone(Benchmark::Lbm, slow_config)];
+
+    let runner =
+        Runner::new("test-watchdog", &scratch.args()).with_watchdog(Some(Duration::from_millis(1)));
+    let (results, failures) = runner.try_run_units("slow", &units);
+
+    assert!(results[0].is_none());
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].attempts, 2);
+    assert!(
+        matches!(failures[0].fault, UnitFault::TimedOut(_)),
+        "expected a timeout, got {}",
+        failures[0].fault
+    );
+    assert_eq!(runner.sims(), 0, "a timed-out unit is not a completed sim");
+}
+
+#[test]
+fn corrupt_entries_are_counted_not_just_recomputed() {
+    let scratch = Scratch::new("corrupt-count");
+    let config = tiny_config(Mechanism::Baseline);
+    let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
+    let key = unit_key(&config, mix.benchmarks());
+    let result = system_sim::run_mix(&mix, &config);
+
+    let store = ResultStore::open(scratch.0.clone());
+    store.save(&key, &result).expect("save");
+    assert_eq!(store.corrupt_count(), 0);
+
+    // An absent entry is a plain miss, not corruption.
+    let missing = unit_key(&config, &[Benchmark::Mcf]);
+    assert!(store.load(&missing).is_none());
+    assert_eq!(store.corrupt_count(), 0);
+
+    // A mangled file is both a miss and a counted corruption.
+    std::fs::write(store.entry_path(&key), "not an entry").unwrap();
+    assert!(store.load(&key).is_none());
+    assert!(store.load(&key).is_none());
+    assert_eq!(store.corrupt_count(), 2);
 }
 
 #[test]

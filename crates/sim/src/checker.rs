@@ -44,9 +44,15 @@ impl VersionChecker {
     }
 
     /// Records a writeback of `block` reaching the memory controller.
+    ///
+    /// Blocks the program never stored to are ignored: a clean writeback
+    /// (e.g. a sweep of a warmup-dirtied block) carries no version to
+    /// publish, and recording a phantom version-0 entry for it would only
+    /// grow `in_dram` with blocks `verify` never consults.
     pub fn record_dram_write(&mut self, block: u64) {
-        let v = self.latest.get(&block).copied().unwrap_or(0);
-        self.in_dram.insert(block, v);
+        if let Some(&v) = self.latest.get(&block) {
+            self.in_dram.insert(block, v);
+        }
     }
 
     /// Verifies that every stored block's newest version reached DRAM.
@@ -79,6 +85,13 @@ impl VersionChecker {
     #[must_use]
     pub fn stored_blocks(&self) -> usize {
         self.latest.len()
+    }
+
+    /// Number of distinct *tracked* blocks whose writebacks reached DRAM
+    /// (untracked writebacks are not recorded — see `record_dram_write`).
+    #[must_use]
+    pub fn dram_blocks(&self) -> usize {
+        self.in_dram.len()
     }
 }
 
@@ -126,5 +139,63 @@ mod tests {
         let mut c = VersionChecker::new();
         c.record_dram_write(1); // clean block written back (e.g. sweep)
         assert!(c.verify().is_ok());
+    }
+
+    #[test]
+    fn untracked_writebacks_leave_no_phantom_entries() {
+        let mut c = VersionChecker::new();
+        c.record_dram_write(1);
+        c.record_dram_write(2);
+        assert_eq!(c.dram_blocks(), 0, "untracked blocks are not recorded");
+        c.record_store(1);
+        c.record_dram_write(1);
+        assert_eq!(c.dram_blocks(), 1);
+        assert!(c.verify().is_ok());
+    }
+
+    #[test]
+    fn writeback_before_store_is_still_a_lost_write() {
+        // A (clean) writeback precedes the first store: the store's
+        // version never reaches DRAM and must be reported, not masked by
+        // a stale phantom entry.
+        let mut c = VersionChecker::new();
+        c.record_dram_write(3);
+        c.record_store(3);
+        let err = c.verify().unwrap_err();
+        assert_eq!(
+            err,
+            vec![LostWrite {
+                block: 3,
+                latest_version: 1,
+                dram_version: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn repeated_verify_is_idempotent() {
+        let mut c = VersionChecker::new();
+        c.record_store(4);
+        c.record_store(8);
+        c.record_dram_write(8);
+        for _ in 0..3 {
+            let err = c.verify().unwrap_err();
+            assert_eq!(err.len(), 1);
+            assert_eq!(err[0].block, 4);
+        }
+        c.record_dram_write(4);
+        for _ in 0..3 {
+            assert!(c.verify().is_ok());
+        }
+    }
+
+    #[test]
+    fn lost_writes_are_ordered_by_block_address() {
+        let mut c = VersionChecker::new();
+        for block in [42, 7, 99, 3] {
+            c.record_store(block);
+        }
+        let blocks: Vec<u64> = c.verify().unwrap_err().iter().map(|l| l.block).collect();
+        assert_eq!(blocks, vec![3, 7, 42, 99]);
     }
 }

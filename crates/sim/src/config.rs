@@ -5,6 +5,8 @@ use cache_sim::ReplacementKind;
 use dbi::{Alpha, DbiConfig, DbiConfigError, DbiReplacementPolicy};
 use dram_sim::DramConfig;
 
+use crate::faults::FaultPlan;
+
 /// The LLC mechanisms evaluated in the paper (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -252,6 +254,17 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Run the shadow-memory functional checker (tests; adds overhead).
     pub check: bool,
+    /// Run the online invariant sanitizer (`crate::invariants`): shadow
+    /// dirty-state tracking plus periodic full-state scans. Violations
+    /// are reported structurally in `MixResult::sanitizer`, never
+    /// panicked on.
+    pub sanitize: bool,
+    /// Trace records between sanitizer full-state scans (the sampling
+    /// interval; lower = tighter detection window, more overhead).
+    pub sanitize_interval: u64,
+    /// Inject one deterministic fault (`crate::faults`) — used to prove
+    /// the sanitizer and checker actually detect contract violations.
+    pub fault: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -290,6 +303,9 @@ impl SystemConfig {
             measure_insts: 4_000_000,
             seed: 42,
             check: false,
+            sanitize: false,
+            sanitize_interval: 4096,
+            fault: None,
         }
     }
 

@@ -37,12 +37,16 @@ mod checker;
 mod config;
 mod core;
 pub mod dramcache;
+mod faults;
+mod invariants;
 mod llc;
 pub mod metrics;
 mod system;
 
 pub use crate::checker::{LostWrite, VersionChecker};
 pub use crate::config::{DbiParams, Latencies, Mechanism, SystemConfig};
+pub use crate::faults::{FaultClass, FaultInjector, FaultPlan, FaultRecord};
+pub use crate::invariants::{InvariantKind, InvariantViolation, Sanitizer, SanitizerReport};
 pub use crate::llc::{LlcStats, ReadOutcome, SharedLlc};
 pub use crate::metrics::CoreResult;
 pub use crate::system::{run_alone, run_mix, MixResult, System};

@@ -18,6 +18,8 @@ use dram_sim::MemoryController;
 
 use crate::checker::VersionChecker;
 use crate::config::{Latencies, Mechanism, SystemConfig};
+use crate::faults::FaultInjector;
+use crate::invariants::{Sanitizer, SanitizerReport};
 
 /// Fraction of the LLC ways (from the LRU end) the VWQ harvests from, and
 /// that its Set State Vector summarizes (the paper's "LRU ways").
@@ -90,6 +92,10 @@ pub struct SharedLlc {
     sweep_scratch: Vec<u64>,
     /// Reusable buffer for DBI-eviction writeback targets.
     dbi_evict_scratch: Vec<u64>,
+    /// Online invariant sanitizer (opt-in via `SystemConfig::sanitize`).
+    sanitizer: Option<Box<Sanitizer>>,
+    /// Deterministic fault injector (opt-in via `SystemConfig::fault`).
+    injector: Option<FaultInjector>,
     stats: LlcStats,
 }
 
@@ -153,6 +159,12 @@ impl SharedLlc {
             port_free: 0,
             sweep_scratch: Vec::new(),
             dbi_evict_scratch: Vec::new(),
+            sanitizer: config.sanitize.then(|| {
+                Box::new(Sanitizer::new(
+                    matches!(mechanism, Mechanism::Vwq).then_some(sets),
+                ))
+            }),
+            injector: config.fault.map(FaultInjector::new),
             stats: LlcStats {
                 dram_writes_per_core: vec![0; threads],
                 ..LlcStats::default()
@@ -216,6 +228,11 @@ impl SharedLlc {
         start
     }
 
+    /// Issues a writeback of `block` to the memory controller. This is the
+    /// single funnel every mechanism's writebacks pass through, which makes
+    /// it the natural hook for both the drop-a-writeback fault and the
+    /// sanitizer's shadow bookkeeping. Returns whether the write actually
+    /// reached the controller (false only when an injected fault ate it).
     fn write_dram(
         &mut self,
         block: u64,
@@ -223,13 +240,22 @@ impl SharedLlc {
         now: u64,
         dram: &mut MemoryController,
         checker: Option<&mut VersionChecker>,
-    ) {
+    ) -> bool {
+        if let Some(inj) = &mut self.injector {
+            if inj.drop_writeback(block) {
+                return false;
+            }
+        }
         dram.enqueue_write(block, now);
         if let Some(c) = checker {
             c.record_dram_write(block);
         }
+        if let Some(s) = &mut self.sanitizer {
+            s.note_written_back(block);
+        }
         let t = usize::from(thread).min(self.stats.dram_writes_per_core.len() - 1);
         self.stats.dram_writes_per_core[t] += 1;
+        true
     }
 
     fn insert_pos(&mut self, block: u64, thread: ThreadId) -> InsertPos {
@@ -244,7 +270,17 @@ impl SharedLlc {
 
     fn ssv_refresh(&mut self, probe: u64) {
         if let Some(ssv) = &mut self.ssv {
-            ssv.refresh(&self.cache, probe);
+            let set = self.cache.set_of(probe);
+            let stale = self.injector.as_mut().is_some_and(|i| i.ssv_stale(set));
+            if !stale {
+                ssv.refresh(&self.cache, probe);
+            }
+            // The mirror follows the refresh *stream*, not the bits, so
+            // legitimate staleness between refreshes matches on both
+            // sides; only a bit that stopped refreshing diverges.
+            if let Some(s) = &mut self.sanitizer {
+                s.mirror_ssv(&self.cache, probe, ssv.tracked_ways());
+            }
         }
     }
 
@@ -280,6 +316,9 @@ impl SharedLlc {
                 _ => false,
             };
             if bypass_ok {
+                if let Some(s) = &mut self.sanitizer {
+                    s.check_bypass(block);
+                }
                 self.stats.bypasses += 1;
                 let issue = now
                     + if self.mechanism.uses_dbi() {
@@ -524,6 +563,10 @@ impl SharedLlc {
         mut checker: Option<&mut VersionChecker>,
     ) {
         self.stats.writebacks_received += 1;
+        if let Some(s) = &mut self.sanitizer {
+            // From here on the hierarchy owes this block's data to DRAM.
+            s.note_dirtied(block);
+        }
         let start = self.occupy_tag_port_demand(now);
         match self.mechanism {
             Mechanism::SkipCache => {
@@ -556,15 +599,33 @@ impl SharedLlc {
                     .as_mut()
                     .expect("DBI mechanism")
                     .mark_dirty_into(block, &mut evicted);
+                if let Some(inj) = &mut self.injector {
+                    if inj.flip_dbi_bit(block) {
+                        self.dbi.as_mut().expect("DBI mechanism").clear_dirty(block);
+                    }
+                }
                 // DBI eviction: write back everything the entry marked; the
                 // blocks stay resident and become clean (paper Section
                 // 2.2.4).
-                for &b in &evicted {
-                    let t = self.occupy_tag_port_background(now);
-                    debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
-                    let owner = self.cache.owner(b).unwrap_or(thread);
-                    self.write_dram(b, owner, t, dram, checker.as_deref_mut());
-                    self.stats.dbi_eviction_writebacks += 1;
+                let skip_drain = !evicted.is_empty()
+                    && self
+                        .injector
+                        .as_mut()
+                        .is_some_and(|inj| inj.skip_drain(evicted[0]));
+                let mut written = 0u64;
+                if !skip_drain {
+                    for &b in &evicted {
+                        let t = self.occupy_tag_port_background(now);
+                        debug_assert!(self.cache.probe(b), "DBI-dirty blocks are resident");
+                        let owner = self.cache.owner(b).unwrap_or(thread);
+                        if self.write_dram(b, owner, t, dram, checker.as_deref_mut()) {
+                            written += 1;
+                            self.stats.dbi_eviction_writebacks += 1;
+                        }
+                    }
+                }
+                if let Some(s) = &mut self.sanitizer {
+                    s.check_eviction_writeback(&evicted, written);
                 }
                 self.dbi_evict_scratch = evicted;
             }
@@ -623,6 +684,25 @@ impl SharedLlc {
             }
         }
         written
+    }
+
+    /// Runs one sanitizer full-state scan comparing the shadow state
+    /// against the mechanism's (no-op unless `SystemConfig::sanitize`).
+    pub fn sanitizer_scan(&mut self) {
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.scan(&self.cache, self.dbi.as_ref(), self.ssv.as_ref());
+        }
+    }
+
+    /// Final scan plus the sanitizer's structured report, when enabled.
+    ///
+    /// Must be taken *before* any end-of-run flush: `flush_dirty` pushes
+    /// writes to the controller directly, below the shadow bookkeeping.
+    #[must_use]
+    pub fn sanitizer_report(&mut self) -> Option<SanitizerReport> {
+        self.sanitizer_scan();
+        let fault = self.injector.as_ref().and_then(FaultInjector::record);
+        self.sanitizer.as_deref().map(|s| s.report(fault))
     }
 
     /// Asserts the cross-structure invariant of DBI mechanisms: every

@@ -9,6 +9,7 @@ use trace_gen::{Benchmark, TraceGenerator};
 use crate::checker::{LostWrite, VersionChecker};
 use crate::config::SystemConfig;
 use crate::core::CoreEngine;
+use crate::invariants::SanitizerReport;
 use crate::llc::{LlcStats, SharedLlc};
 use crate::metrics::CoreResult;
 
@@ -37,6 +38,9 @@ pub struct MixResult {
     pub rewrite_filter: Option<RewriteFilterStats>,
     /// Outcome of the shadow-memory check, when enabled.
     pub check: Option<Result<(), Vec<LostWrite>>>,
+    /// The invariant sanitizer's report, when `SystemConfig::sanitize`
+    /// was set.
+    pub sanitizer: Option<SanitizerReport>,
     /// Trace records executed across the *whole* run (warmup, measurement,
     /// and any post-quota interference stepping) — the denominator of the
     /// simulator's own records/second throughput, not a paper metric.
@@ -143,6 +147,18 @@ impl System {
         self.cores[i].step(&mut self.llc, &mut self.dram, self.checker.as_mut());
     }
 
+    /// Steps the earliest core; `steps` counts records across the run so
+    /// the sanitizer can scan every `sanitize_interval` records.
+    fn step_next(&mut self, steps: &mut u64) -> usize {
+        let i = self.argmin_cycle();
+        self.step_core(i);
+        *steps += 1;
+        if self.config.sanitize && steps.is_multiple_of(self.config.sanitize_interval.max(1)) {
+            self.llc.sanitizer_scan();
+        }
+        i
+    }
+
     fn argmin_cycle(&self) -> usize {
         self.cores
             .iter()
@@ -164,9 +180,9 @@ impl System {
         assert!(measure > 0, "measurement window must be nonempty");
 
         // Phase 1: warm until every core has retired `warm` instructions.
+        let mut steps = 0u64;
         while self.cores.iter().any(|c| c.insts < warm) {
-            let i = self.argmin_cycle();
-            self.step_core(i);
+            let _ = self.step_next(&mut steps);
         }
 
         // Snapshot measurement baselines.
@@ -194,8 +210,7 @@ impl System {
         let mut end: Vec<Option<CoreSnapshot>> = vec![None; n];
         let mut done = 0usize;
         while done < n {
-            let i = self.argmin_cycle();
-            self.step_core(i);
+            let i = self.step_next(&mut steps);
             let c = &self.cores[i];
             if end[i].is_none() && c.insts >= base[i].0 + measure {
                 end[i] = Some((
@@ -236,6 +251,9 @@ impl System {
 
         let rewrite_filter = self.llc.rewrite_filter_stats().copied();
         let records_processed = self.cores.iter().map(|c| c.records).sum();
+        // Taken before the verification flush: `flush_dirty` pushes writes
+        // to the controller below the sanitizer's shadow bookkeeping.
+        let sanitizer = self.llc.sanitizer_report();
         let check = self.checker.is_some().then(|| self.flush_and_verify());
 
         MixResult {
@@ -246,6 +264,7 @@ impl System {
             dbi,
             rewrite_filter,
             check,
+            sanitizer,
             records_processed,
         }
     }
