@@ -40,6 +40,12 @@ Common options for every dbi-bench experiment binary:
     --watchdog SECS   per-unit wall-clock limit: a unit exceeding it is
                       retried once, then quarantined (default 600,
                       0 disables the watchdog)
+    --shard I/N       simulate only shard I of N (1-based); units owned by
+                      other shards are served from the store when already
+                      present, taken over when their lease has gone stale,
+                      and skipped otherwise
+    --list-units      print the flattened work list (store key, cached
+                      state, shard owner) without simulating anything
     --help            print this help
 ";
 
@@ -66,6 +72,10 @@ pub struct BenchArgs {
     pub fault_seed: u64,
     /// Per-unit wall-clock limit in seconds; 0 disables (`--watchdog`).
     pub watchdog_secs: u64,
+    /// Shard assignment `(i, n)` with `1 <= i <= n` (`--shard I/N`).
+    pub shard: Option<(u32, u32)>,
+    /// Print the work list instead of simulating (`--list-units`).
+    pub list_units: bool,
 }
 
 impl Default for BenchArgs {
@@ -81,6 +91,8 @@ impl Default for BenchArgs {
             fault: None,
             fault_seed: 1,
             watchdog_secs: 600,
+            shard: None,
+            list_units: false,
         }
     }
 }
@@ -175,6 +187,11 @@ impl BenchArgs {
                         .parse()
                         .map_err(|_| format!("--watchdog needs a number of seconds, got '{v}'"))?;
                 }
+                "--shard" => {
+                    let v = value("--shard")?;
+                    args.shard = Some(Self::parse_shard(&v)?);
+                }
+                "--list-units" => args.list_units = true,
                 "--help" | "-h" => return Err(format!("usage requested\n\n{USAGE}")),
                 other if extra_value_flags.contains(&other) => {
                     extras.push((other.to_string(), value(other)?));
@@ -183,6 +200,15 @@ impl BenchArgs {
             }
         }
         Ok((args, extras))
+    }
+
+    /// Parses a `--shard` value of the form `I/N` with `1 <= I <= N`.
+    fn parse_shard(v: &str) -> Result<(u32, u32), String> {
+        let err = || format!("--shard needs the form I/N with 1 <= I <= N, got '{v}'");
+        let (i, n) = v.split_once('/').ok_or_else(err)?;
+        let i: u32 = i.trim().parse().map_err(|_| err())?;
+        let n: u32 = n.trim().parse().map_err(|_| err())?;
+        (1 <= i && i <= n).then_some((i, n)).ok_or_else(err)
     }
 
     /// Directory for machine-readable outputs: `--out-dir` if given,
@@ -325,6 +351,29 @@ mod tests {
         let (args, _) = BenchArgs::try_parse(&argv(&["--watchdog", "0"]), &[]).unwrap();
         assert_eq!(args.watchdog(), None);
         assert!(BenchArgs::try_parse(&argv(&["--watchdog", "soon"]), &[]).is_err());
+    }
+
+    #[test]
+    fn shard_flag_parses_and_validates() {
+        let (args, _) = BenchArgs::try_parse(&argv(&["--shard", "2/4"]), &[]).unwrap();
+        assert_eq!(args.shard, Some((2, 4)));
+        let (args, _) = BenchArgs::try_parse(&argv(&["--shard", "1/1"]), &[]).unwrap();
+        assert_eq!(args.shard, Some((1, 1)));
+        for bad in ["0/4", "5/4", "2", "a/b", "2/0", "-1/4"] {
+            assert!(
+                BenchArgs::try_parse(&argv(&["--shard", bad]), &[])
+                    .unwrap_err()
+                    .contains("I/N"),
+                "'{bad}' should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn list_units_flag_parses() {
+        let (args, _) = BenchArgs::try_parse(&argv(&["--list-units"]), &[]).unwrap();
+        assert!(args.list_units);
+        assert!(!BenchArgs::default().list_units);
     }
 
     #[test]

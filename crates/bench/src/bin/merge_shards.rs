@@ -1,0 +1,99 @@
+//! Merges per-shard result stores into one verified store directory.
+//!
+//! ```text
+//! merge_shards --out DIR [--manifest FILE] SHARD_DIR...
+//! ```
+//!
+//! Each `SHARD_DIR` is the `--cache-dir` a sharded campaign leg ran
+//! against (or a copy of it fetched from another machine). Every entry is
+//! re-verified on the way through — checksum, fingerprint/file-name
+//! agreement, byte-identity across shards — and the process exits nonzero
+//! naming the bad units when anything fails. `--manifest` takes the saved
+//! output of a `--list-units` dry run and additionally reports campaign
+//! units missing from every shard.
+
+use std::path::PathBuf;
+
+use dbi_bench::merge_shards;
+
+const USAGE: &str = "\
+merge_shards --out DIR [--manifest FILE] SHARD_DIR...
+
+    --out DIR        output store directory (created; receives one
+                     verified copy of every clean entry)
+    --manifest FILE  saved `--list-units` output defining the campaign's
+                     full unit set; units absent from every shard are
+                     reported as missing
+    SHARD_DIR...     one or more shard store directories to merge
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("merge_shards: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut shards: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => fail("flag --out needs a value"),
+            },
+            "--manifest" => match it.next() {
+                Some(v) => manifest_path = Some(PathBuf::from(v)),
+                None => fail("flag --manifest needs a value"),
+            },
+            "--help" | "-h" => fail("usage requested"),
+            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
+            dir => shards.push(PathBuf::from(dir)),
+        }
+    }
+    let Some(out) = out else {
+        fail("--out is required");
+    };
+    if shards.is_empty() {
+        fail("at least one shard directory is required");
+    }
+    let manifest = manifest_path.map(|p| match std::fs::read_to_string(&p) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("could not read manifest {}: {e}", p.display())),
+    });
+
+    let report = match merge_shards(&shards, &out, manifest.as_deref()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("merge_shards: merge failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "merge_shards: merged={} duplicates={} conflicts={} corrupt={} missing={} out={}",
+        report.merged.len(),
+        report.duplicates.len(),
+        report.conflicts.len(),
+        report.corrupt.len(),
+        report.missing.len(),
+        out.display()
+    );
+    for (hash, a, b) in &report.conflicts {
+        eprintln!(
+            "merge_shards: CONFLICT unit {hash:016x}: {} differs from {}",
+            a.display(),
+            b.display()
+        );
+    }
+    for path in &report.corrupt {
+        eprintln!("merge_shards: CORRUPT entry {}", path.display());
+    }
+    for hash in &report.missing {
+        eprintln!("merge_shards: MISSING unit {hash:016x}");
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

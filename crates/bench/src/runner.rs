@@ -24,23 +24,116 @@
 //! ([`std::panic::catch_unwind`]) and, when a watchdog limit is set, the
 //! unit runs on its own thread so a wall-clock overrun can be detected
 //! (the overrunning thread is abandoned — threads cannot be killed — and
-//! its eventual result discarded). A failed unit gets exactly one retry;
-//! failing again *quarantines* it: the failure is recorded, every other
-//! unit still completes and reaches the store, and the process exits
-//! nonzero after printing its summary. The summary's `failed=K
-//! quarantined=[...]` fields, like `sims=`, are machine-parseable.
+//! its eventual result discarded). A failed unit gets exactly one retry
+//! after a jittered backoff; failing again *quarantines* it: the failure
+//! is recorded, every other unit still completes and reaches the store,
+//! and the process exits nonzero after printing its summary. The
+//! summary's `failed=K quarantined=[...]` fields, like `sims=`, are
+//! machine-parseable.
+//!
+//! # Checkpoints
+//!
+//! Units are also resumable *within* themselves: while a unit simulates,
+//! the runner writes a deterministic snapshot of the complete system
+//! state to `<key>.ckpt` in the store directory every
+//! [`Runner::with_checkpoint_every`] trace records. A killed process
+//! (`kill -9` included) therefore loses at most one checkpoint interval
+//! per in-flight unit — the rerun restores each snapshot and continues,
+//! and the sim crate's round-trip tests prove the resumed result is
+//! bit-identical to a straight-through run. SIGINT/SIGTERM are handled
+//! gracefully: in-flight units suspend at their next checkpoint, queued
+//! units are skipped, the summary carries an `interrupted=` marker, and
+//! the process exits `128 + signal`.
+//!
+//! # Shards
+//!
+//! `--shard I/N` splits one campaign across N machines sharing (a copy
+//! of) the store directory: each unit's store key hashes to exactly one
+//! owning shard, foreign units are served from the store when already
+//! present and skipped otherwise, and `merge_shards` combines the
+//! per-machine stores afterwards. While a shard simulates a unit it holds
+//! a *lease* (`<key>.lease`: owner string, mtime heartbeated at every
+//! checkpoint); another shard finding a lease stale for longer than
+//! [`Runner::with_lease_stale_after`] presumes the owner dead and takes
+//! the unit over after a jittered backoff — self-healing without a
+//! coordinator.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use system_sim::{run_mix, FaultPlan, Mechanism, MixResult, SystemConfig};
+use system_sim::{
+    run_mix, CoreResult, FaultPlan, Mechanism, MixResult, RunOutcome, System, SystemConfig,
+};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
 use crate::store::{unit_key, ResultStore, StoreKey};
-use crate::{parallel_map_jobs, BenchArgs};
+use crate::{listing, parallel_map_jobs, BenchArgs};
+
+/// The last fatal signal received (SIGINT=2 / SIGTERM=15); 0 when none.
+static INTERRUPT_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// The signal that interrupted this process, if any. Set asynchronously
+/// by the handlers [`Runner::new`] installs; the runner polls it between
+/// units and at every checkpoint.
+#[must_use]
+pub fn interrupted() -> Option<i32> {
+    match INTERRUPT_SIGNAL.load(Ordering::Relaxed) {
+        0 => None,
+        sig => Some(sig),
+    }
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // Only stores to an atomic — async-signal-safe.
+    extern "C" fn record(sig: i32) {
+        INTERRUPT_SIGNAL.store(sig, Ordering::Relaxed);
+    }
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| unsafe {
+        signal(2, record); // SIGINT
+        signal(15, record); // SIGTERM
+    });
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// SplitMix64 — a tiny deterministic bit mixer for backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// `base` scaled by a deterministic jitter in [1, 2): workers racing for
+/// the same unit spread out instead of stampeding, while the same salt
+/// always waits the same time (schedules stay reproducible).
+fn jittered(base: Duration, salt: u64) -> Duration {
+    let frac = (splitmix64(salt) >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(1.0 + frac)
+}
+
+/// Jittered exponential backoff: `base * 2^(attempt-1)`, attempt 1-based.
+fn backoff_delay(base: Duration, attempt: u32, salt: u64) -> Duration {
+    jittered(base * 2u32.saturating_pow(attempt.saturating_sub(1)), salt)
+}
+
+/// The 1-based shard owning a store key under `--shard I/N`: a pure
+/// function of the key, so every machine computes the same partition
+/// regardless of unit order or phase structure.
+#[must_use]
+pub fn shard_of(hash: u64, n: u32) -> u32 {
+    u32::try_from(hash % u64::from(n)).expect("remainder of a u32 modulus fits") + 1
+}
 
 /// One schedulable simulation: a workload on a fully specified system.
 #[derive(Debug, Clone)]
@@ -73,6 +166,8 @@ impl RunUnit {
 struct Counters {
     hits: AtomicU64,
     sims: AtomicU64,
+    skipped: AtomicU64,
+    resumes: AtomicU64,
     sim_nanos: AtomicU64,
     unit_max_nanos: AtomicU64,
 }
@@ -134,6 +229,129 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     )
 }
 
+/// Everything a simulation needs to write checkpoints. Owned values only:
+/// the watchdog path runs the simulation on a `'static` thread, which
+/// re-opens its own store handle from `dir`.
+#[derive(Debug, Clone)]
+struct CheckpointCtx {
+    dir: PathBuf,
+    key: StoreKey,
+    owner: String,
+    every: u64,
+    crash_after: Option<Arc<AtomicI64>>,
+}
+
+/// Outcome of one guarded simulation attempt that did not fault.
+enum SimRun {
+    /// Ran to completion; `resumed` records whether it started from a
+    /// checkpoint rather than cold.
+    Completed {
+        result: Box<MixResult>,
+        resumed: bool,
+    },
+    /// Suspended at a durable checkpoint (interrupt, or the test-only
+    /// crash budget ran out).
+    Suspended,
+}
+
+/// Runs one unit, resuming from its checkpoint when a valid one exists
+/// and snapshotting every `ctx.every` records. Each checkpoint write also
+/// heartbeats the unit's lease. The checkpoint sink asks the simulator to
+/// suspend once the process has been interrupted — the snapshot just
+/// written is then the durable resume point. A checkpoint that fails its
+/// checksum or belongs to a different configuration is discarded and the
+/// unit restarts cold.
+fn run_checkpointed(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    ctx: Option<&CheckpointCtx>,
+) -> SimRun {
+    let Some(ctx) = ctx else {
+        return SimRun::Completed {
+            result: Box::new(run_mix(mix, config)),
+            resumed: false,
+        };
+    };
+    let store = ResultStore::open(ctx.dir.clone());
+    let _ = store.write_lease(&ctx.key, &ctx.owner);
+    let mut resume = store.load_checkpoint(&ctx.key);
+    loop {
+        let resumed = resume.is_some();
+        let mut sink = |bytes: &[u8]| {
+            if let Err(e) = store.save_checkpoint(&ctx.key, bytes) {
+                eprintln!(
+                    "warning: could not write checkpoint {:016x}.ckpt: {e}",
+                    ctx.key.hash
+                );
+            }
+            let _ = store.write_lease(&ctx.key, &ctx.owner);
+            if interrupted().is_some() {
+                return false;
+            }
+            if let Some(budget) = &ctx.crash_after {
+                if budget.fetch_sub(1, Ordering::Relaxed) <= 1 {
+                    return false;
+                }
+            }
+            true
+        };
+        match System::new(mix, config).run_resumable(resume.as_deref(), ctx.every, &mut sink) {
+            Ok(RunOutcome::Finished(result)) => return SimRun::Completed { result, resumed },
+            Ok(RunOutcome::Suspended) => return SimRun::Suspended,
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint {:016x}.ckpt did not restore ({e:?}); cold start",
+                    ctx.key.hash
+                );
+                store.clear_checkpoint(&ctx.key);
+                resume = None;
+            }
+        }
+    }
+}
+
+/// A finite placeholder result for `--list-units` dry runs and foreign
+/// shard units: IPC 1.0 per core, zero counters, a passing check.
+/// Downstream speedup/PKI math stays finite, so binaries traverse their
+/// full reporting path (whose output is suppressed) without simulating.
+fn dummy_result(unit: &RunUnit) -> MixResult {
+    let benchmarks = unit.mix.benchmarks();
+    let cores = benchmarks
+        .iter()
+        .map(|b| CoreResult {
+            benchmark: b.label().to_string(),
+            insts: 1,
+            cycles: 1,
+            llc_reads: 0,
+            llc_read_misses: 0,
+            dram_writes: 0,
+        })
+        .collect();
+    let mut llc = system_sim::LlcStats::default();
+    llc.dram_writes_per_core = vec![0; benchmarks.len()];
+    MixResult {
+        cores,
+        llc,
+        dram: dram_sim::DramStats::default(),
+        energy: dram_sim::DramEnergy::default(),
+        dbi: None,
+        rewrite_filter: None,
+        check: Some(Ok(())),
+        sanitizer: None,
+        records_processed: 1,
+    }
+}
+
+/// How a unit owned by another shard resolves.
+enum ForeignUnit {
+    /// Its result is already in the store (boxed: `MixResult` is large).
+    Serve(Box<MixResult>),
+    /// Its owner is (presumed) alive, or it cannot be served — leave it.
+    Skip,
+    /// Its lease went stale: the owner is presumed dead, simulate it here.
+    TakeOver,
+}
+
 /// The per-binary experiment runner. Construct one per `main`, submit
 /// every simulation through it, and it prints a cache/timing summary when
 /// dropped (or on an explicit [`Runner::finish`]).
@@ -148,6 +366,20 @@ pub struct Runner {
     fault: Option<FaultPlan>,
     /// Per-unit wall-clock limit; `None` disables the watchdog.
     watchdog: Option<Duration>,
+    /// `--shard I/N`: simulate only the units hashing to shard I.
+    shard: Option<(u32, u32)>,
+    /// Trace records between checkpoints; 0 disables checkpointing.
+    checkpoint_every: u64,
+    /// Base delay before a failed unit's single retry (jittered ×1–2).
+    retry_backoff: Duration,
+    /// Lease age beyond which a foreign unit's owner is presumed dead.
+    lease_stale_after: Duration,
+    /// Base delay before confirming a stale-lease takeover (jittered).
+    takeover_backoff: Duration,
+    /// Lease owner string, `name:pid` by default.
+    owner: String,
+    /// Test hook: suspend after this many checkpoint writes.
+    crash_after: Option<Arc<AtomicI64>>,
     start: Instant,
     counters: Counters,
     failures: Mutex<Vec<UnitFailure>>,
@@ -157,10 +389,17 @@ pub struct Runner {
 impl Runner {
     /// Creates a runner for the binary `name` (used in progress and
     /// summary lines) from parsed arguments: `--cache-dir`/`--no-cache`
-    /// select the store, `--jobs` caps the worker threads, and
-    /// `--check`/`--fault`/`--watchdog` configure the robustness layer.
+    /// select the store, `--jobs` caps the worker threads,
+    /// `--check`/`--fault`/`--watchdog` configure the robustness layer,
+    /// `--shard` selects this machine's slice of the campaign, and
+    /// `--list-units` switches the whole process into dry-run mode.
+    ///
+    /// Also installs the SIGINT/SIGTERM handlers that make interruption
+    /// graceful (idempotent, process-wide).
     #[must_use]
     pub fn new(name: &str, args: &BenchArgs) -> Runner {
+        install_signal_handlers();
+        crate::set_listing(args.list_units);
         Runner {
             name: name.to_string(),
             store: args.store_dir().map(ResultStore::open),
@@ -168,6 +407,13 @@ impl Runner {
             check: args.check,
             fault: args.fault_plan(),
             watchdog: args.watchdog(),
+            shard: args.shard,
+            checkpoint_every: 250_000,
+            retry_backoff: Duration::from_millis(250),
+            lease_stale_after: Duration::from_secs(300),
+            takeover_backoff: Duration::from_secs(2),
+            owner: format!("{name}:{}", std::process::id()),
+            crash_after: None,
             start: Instant::now(),
             counters: Counters::default(),
             failures: Mutex::new(Vec::new()),
@@ -183,6 +429,59 @@ impl Runner {
         self
     }
 
+    /// Overrides the checkpoint interval in trace records (0 disables
+    /// checkpointing; tests use small intervals to force many snapshots).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: u64) -> Runner {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Overrides the base retry backoff (tests use ~0 to stay fast).
+    #[must_use]
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Runner {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Overrides the lease staleness threshold.
+    #[must_use]
+    pub fn with_lease_stale_after(mut self, after: Duration) -> Runner {
+        self.lease_stale_after = after;
+        self
+    }
+
+    /// Overrides the base takeover backoff.
+    #[must_use]
+    pub fn with_takeover_backoff(mut self, backoff: Duration) -> Runner {
+        self.takeover_backoff = backoff;
+        self
+    }
+
+    /// Overrides the shard assignment (tests simulate multiple machines
+    /// in one process).
+    #[must_use]
+    pub fn with_shard(mut self, shard: Option<(u32, u32)>) -> Runner {
+        self.shard = shard;
+        self
+    }
+
+    /// Overrides the lease owner string.
+    #[must_use]
+    pub fn with_owner(mut self, owner: &str) -> Runner {
+        self.owner = owner.to_string();
+        self
+    }
+
+    /// Test hook: after `n` checkpoint writes (across all units), every
+    /// later checkpoint suspends its unit — an in-process stand-in for
+    /// `kill -9` that leaves exactly the on-disk state a real kill would.
+    #[must_use]
+    pub fn with_crash_after_checkpoints(mut self, n: i64) -> Runner {
+        self.crash_after = Some(Arc::new(AtomicI64::new(n)));
+        self
+    }
+
     /// Simulations performed (store misses) so far.
     #[must_use]
     pub fn sims(&self) -> u64 {
@@ -193,6 +492,20 @@ impl Runner {
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Units skipped: owned by a live foreign shard, or not yet started
+    /// when an interrupt arrived.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.counters.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Completed simulations that resumed from a checkpoint instead of
+    /// starting cold.
+    #[must_use]
+    pub fn resumes(&self) -> u64 {
+        self.counters.resumes.load(Ordering::Relaxed)
     }
 
     /// The unit as actually submitted: the runner-level `--check` /
@@ -221,17 +534,26 @@ impl Runner {
     /// [`Runner::try_run_units`].
     #[must_use]
     pub fn run_unit(&self, unit: &RunUnit) -> MixResult {
-        self.run_unit_outcome(unit)
-            .unwrap_or_else(|fault| panic!("runner[{}]: unguarded unit {fault}", self.name))
+        if listing() {
+            return self.list_unit("on-demand", unit);
+        }
+        match self.run_unit_outcome(unit) {
+            Ok(Some(result)) => result,
+            // Suspended mid-run: only an interrupt does this outside the
+            // work-list path, so exit the way a drained list would.
+            Ok(None) => self.graceful_exit(),
+            Err(fault) => panic!("runner[{}]: unguarded unit {fault}", self.name),
+        }
     }
 
     /// The guarded single-unit path shared by [`Runner::run_unit`] and
-    /// [`Runner::try_run_units`].
+    /// [`Runner::try_run_units`]. `Ok(None)` means the unit suspended at
+    /// a durable checkpoint rather than completing.
     ///
     /// Sanitized and faulted units bypass the store for the same reason
     /// checked units always have: their reports are not serializable, and
     /// a faulted result must never be served to a clean rerun.
-    fn run_unit_outcome(&self, unit: &RunUnit) -> Result<MixResult, UnitFault> {
+    fn run_unit_outcome(&self, unit: &RunUnit) -> Result<Option<MixResult>, UnitFault> {
         let unit = self.effective(unit);
         if unit.config.check || unit.config.sanitize || unit.config.fault.is_some() {
             return self.simulate(&unit, None);
@@ -240,7 +562,7 @@ impl Runner {
         if let Some(store) = &self.store {
             if let Some(result) = store.load(&key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(result);
+                return Ok(Some(result));
             }
         }
         self.simulate(&unit, Some(&key))
@@ -249,12 +571,29 @@ impl Runner {
     /// One guarded simulation attempt. Counters are only advanced and the
     /// store only written for completed simulations; a panic or timeout
     /// surfaces as `Err` instead of tearing the process (or the whole
-    /// work list) down.
-    fn simulate(&self, unit: &RunUnit, key: Option<&StoreKey>) -> Result<MixResult, UnitFault> {
+    /// work list) down, and a checkpoint suspension surfaces as
+    /// `Ok(None)`.
+    fn simulate(
+        &self,
+        unit: &RunUnit,
+        key: Option<&StoreKey>,
+    ) -> Result<Option<MixResult>, UnitFault> {
         let t = Instant::now();
-        let result = match self.watchdog {
-            None => catch_unwind(AssertUnwindSafe(|| run_mix(&unit.mix, &unit.config)))
-                .map_err(|p| UnitFault::Panicked(panic_text(p.as_ref())))?,
+        let ckpt = match (&self.store, key) {
+            (Some(store), Some(key)) if self.checkpoint_every > 0 => Some(CheckpointCtx {
+                dir: store.dir().to_path_buf(),
+                key: key.clone(),
+                owner: self.owner.clone(),
+                every: self.checkpoint_every,
+                crash_after: self.crash_after.clone(),
+            }),
+            _ => None,
+        };
+        let run = match self.watchdog {
+            None => catch_unwind(AssertUnwindSafe(|| {
+                run_checkpointed(&unit.mix, &unit.config, ckpt.as_ref())
+            }))
+            .map_err(|p| UnitFault::Panicked(panic_text(p.as_ref())))?,
             Some(limit) => {
                 // The simulation runs on its own thread so an overrun is
                 // detectable; a thread cannot be killed, so on timeout it
@@ -262,20 +601,33 @@ impl Runner {
                 let (tx, rx) = std::sync::mpsc::channel();
                 let mix = unit.mix.clone();
                 let config = unit.config.clone();
+                let ckpt = ckpt.clone();
                 std::thread::spawn(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| run_mix(&mix, &config)))
-                        .map_err(|p| panic_text(p.as_ref()));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_checkpointed(&mix, &config, ckpt.as_ref())
+                    }))
+                    .map_err(|p| panic_text(p.as_ref()));
                     let _ = tx.send(outcome);
                 });
                 match rx.recv_timeout(limit) {
-                    Ok(Ok(result)) => result,
+                    Ok(Ok(run)) => run,
                     Ok(Err(msg)) => return Err(UnitFault::Panicked(msg)),
                     Err(_) => return Err(UnitFault::TimedOut(limit)),
                 }
             }
         };
+        let (result, resumed) = match run {
+            // The checkpoint just written is the durable resume point;
+            // the lease stays (heartbeated) so other shards keep waiting
+            // for staleness before stealing the unit.
+            SimRun::Suspended => return Ok(None),
+            SimRun::Completed { result, resumed } => (result, resumed),
+        };
         let nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.counters.sims.fetch_add(1, Ordering::Relaxed);
+        if resumed {
+            self.counters.resumes.fetch_add(1, Ordering::Relaxed);
+        }
         self.counters.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.counters
             .unit_max_nanos
@@ -287,8 +639,117 @@ impl Runner {
                     store.entry_path(key).display()
                 );
             }
+            store.clear_checkpoint(key);
+            store.clear_lease(key);
         }
-        Ok(result)
+        Ok(Some(*result))
+    }
+
+    /// The per-unit scheduling decision of a work list: interrupt
+    /// pre-check, shard ownership, then the normal lookup/simulate path.
+    fn scheduled_outcome(&self, unit: &RunUnit) -> Result<Option<MixResult>, UnitFault> {
+        if interrupted().is_some() {
+            // Not-yet-started units drain without work, so the process
+            // reaches its graceful exit quickly after a signal.
+            self.counters.skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        if let Some((mine, n)) = self.shard {
+            let eff = self.effective(unit);
+            let key = eff.key();
+            let bypass = eff.config.check || eff.config.sanitize || eff.config.fault.is_some();
+            if shard_of(key.hash, n) != mine {
+                match self.foreign_unit(&key, bypass) {
+                    ForeignUnit::Serve(result) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Some(*result));
+                    }
+                    ForeignUnit::Skip => {
+                        self.counters.skipped.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                    ForeignUnit::TakeOver => {}
+                }
+            }
+        }
+        self.run_unit_outcome(unit)
+    }
+
+    /// Resolves a unit owned by another shard: serve it from the store
+    /// when its result is already there, take it over when its lease has
+    /// gone stale (the owner is presumed dead), and skip it otherwise.
+    fn foreign_unit(&self, key: &StoreKey, bypass: bool) -> ForeignUnit {
+        let Some(store) = &self.store else {
+            return ForeignUnit::Skip;
+        };
+        if bypass {
+            // Check/fault units cannot be served from the store; they
+            // run only on their owning shard.
+            return ForeignUnit::Skip;
+        }
+        if let Some(result) = store.load(key) {
+            return ForeignUnit::Serve(Box::new(result));
+        }
+        let stale = |age: Option<Duration>| age.is_some_and(|a| a >= self.lease_stale_after);
+        if !stale(store.lease_age(key)) {
+            return ForeignUnit::Skip;
+        }
+        // Back off (jittered by the unit key, so two rescuers racing for
+        // the same unit wait different times), then confirm the lease is
+        // still stale and the result still absent before taking over.
+        std::thread::sleep(jittered(self.takeover_backoff, key.hash));
+        if let Some(result) = store.load(key) {
+            return ForeignUnit::Serve(Box::new(result));
+        }
+        if !stale(store.lease_age(key)) {
+            return ForeignUnit::Skip;
+        }
+        let owner = store
+            .lease_owner(key)
+            .unwrap_or_else(|| "unknown".to_string());
+        eprintln!(
+            "runner[{}]: taking over unit {:016x} from stale lease holder '{owner}'",
+            self.name, key.hash
+        );
+        ForeignUnit::TakeOver
+    }
+
+    /// Prints one `--list-units` line for `unit` and returns a dummy
+    /// result. Columns: `unit <phase> <key-hash> <cached|uncached>
+    /// <owning-shard|-> <fingerprint>`.
+    fn list_unit(&self, phase: &str, unit: &RunUnit) -> MixResult {
+        let unit = self.effective(unit);
+        let key = unit.key();
+        let cached = self
+            .store
+            .as_ref()
+            .is_some_and(|s| s.entry_path(&key).exists());
+        let shard = self.shard.map_or_else(
+            || "-".to_string(),
+            |(_, n)| shard_of(key.hash, n).to_string(),
+        );
+        println!(
+            "unit\t{phase}\t{:016x}\t{}\t{shard}\t{}",
+            key.hash,
+            if cached { "cached" } else { "uncached" },
+            key.fingerprint
+        );
+        dummy_result(&unit)
+    }
+
+    /// Flushes the summary and exits with the conventional `128 + signal`
+    /// code. Completed units are already in the store and every in-flight
+    /// unit left a durable checkpoint, so a rerun resumes where this run
+    /// stopped.
+    fn graceful_exit(&self) -> ! {
+        let sig = interrupted().unwrap_or(2);
+        eprintln!(
+            "runner[{}]: interrupted by signal {sig}; results and checkpoints are flushed, \
+             rerun to resume",
+            self.name
+        );
+        self.finish();
+        std::process::exit(128 + sig);
     }
 
     /// Drains a flattened work list in parallel, preserving input order in
@@ -299,28 +760,49 @@ impl Runner {
     /// the store), but the process then prints its summary and exits
     /// nonzero — callers of this API assume one result per unit. Callers
     /// that want to survive quarantines use [`Runner::try_run_units`].
+    ///
+    /// An interrupt (SIGINT/SIGTERM) during the drain exits `128+signal`
+    /// after the summary. Under `--shard`, units left to other machines
+    /// come back as placeholders and campaign-level tables/TSVs are
+    /// suppressed — a sharded invocation populates the store; the merged,
+    /// unsharded rerun produces the real outputs.
     #[must_use]
     pub fn run_units(&self, phase: &str, units: &[RunUnit]) -> Vec<MixResult> {
         let (results, failures) = self.try_run_units(phase, units);
-        if failures.is_empty() {
-            return results
-                .into_iter()
-                .map(|r| r.expect("no failures"))
-                .collect();
+        if interrupted().is_some() {
+            self.graceful_exit();
         }
-        for failure in &failures {
-            eprintln!("runner[{}]: {failure}", self.name);
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("runner[{}]: {failure}", self.name);
+            }
+            self.finish();
+            std::process::exit(1);
         }
-        self.finish();
-        std::process::exit(1);
+        let left = results.iter().filter(|r| r.is_none()).count();
+        if left > 0 {
+            eprintln!(
+                "runner[{}]: {phase}: {left} units left to other shards; \
+                 outputs suppressed for this partial run",
+                self.name
+            );
+            crate::set_partial(true);
+        }
+        results
+            .into_iter()
+            .zip(units)
+            .map(|(r, unit)| r.unwrap_or_else(|| dummy_result(&self.effective(unit))))
+            .collect()
     }
 
     /// Like [`Runner::run_units`], but quarantines failing units instead
-    /// of exiting: each unit gets one retry, and a unit that fails twice
-    /// yields `None` in the results plus a [`UnitFailure`] describing why.
-    /// Every other unit completes and (on a store miss) is flushed to the
-    /// store before this returns, so a crashing sweep loses only the
-    /// quarantined units.
+    /// of exiting: each unit gets one retry (after a jittered backoff),
+    /// and a unit that fails twice yields `None` in the results plus a
+    /// [`UnitFailure`] describing why. `None` also marks units skipped
+    /// for shard ownership or suspended at a checkpoint — those carry no
+    /// `UnitFailure`. Every completed unit is flushed to the store before
+    /// this returns, so a crashing sweep loses only the quarantined
+    /// units.
     #[must_use]
     pub fn try_run_units(
         &self,
@@ -330,6 +812,13 @@ impl Runner {
         if units.is_empty() {
             return (Vec::new(), Vec::new());
         }
+        if listing() {
+            let results = units
+                .iter()
+                .map(|u| Some(self.list_unit(phase, u)))
+                .collect();
+            return (results, Vec::new());
+        }
         let total = units.len();
         let done = AtomicU64::new(0);
         let started = Instant::now();
@@ -338,11 +827,12 @@ impl Runner {
         let indices: Vec<usize> = (0..total).collect();
         let outcomes = parallel_map_jobs(&indices, self.jobs, |&i| {
             let unit = &units[i];
-            let outcome = self.run_unit_outcome(unit).or_else(|first| {
+            let outcome = self.scheduled_outcome(unit).or_else(|first| {
                 eprintln!(
                     "runner[{}]: {phase}: unit {i} {first}; retrying once",
                     self.name
                 );
+                std::thread::sleep(backoff_delay(self.retry_backoff, 1, i as u64));
                 self.run_unit_outcome(unit)
             });
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -373,7 +863,7 @@ impl Runner {
         let results = outcomes
             .into_iter()
             .map(|outcome| match outcome {
-                Ok(result) => Some(result),
+                Ok(result) => result,
                 Err(failure) => {
                     failures.push(failure);
                     None
@@ -389,7 +879,10 @@ impl Runner {
 
     /// Prints the end-of-run summary (idempotent; also invoked on drop).
     /// The `sims=` field is the machine-readable contract: a warm-store
-    /// rerun must report `sims=0`.
+    /// rerun must report `sims=0`. `skipped=` counts units left to other
+    /// shards (or unstarted after an interrupt), `resumed=` counts
+    /// simulations continued from a checkpoint, and `interrupted=` is the
+    /// signal number that stopped the run (0 for a clean finish).
     pub fn finish(&self) {
         if self.finished.swap(true, Ordering::Relaxed) {
             return;
@@ -414,12 +907,16 @@ impl Runner {
             .join(",");
         let corrupt = self.store.as_ref().map_or(0, ResultStore::corrupt_count);
         eprintln!(
-            "runner[{}]: units={} hits={} sims={} sim_wall={} unit_mean={} unit_max={} \
-             failed={} quarantined=[{quarantined}] corrupt={corrupt} wall={} store={}",
+            "runner[{}]: units={} hits={} sims={} skipped={} resumed={} interrupted={} \
+             sim_wall={} unit_mean={} unit_max={} failed={} quarantined=[{quarantined}] \
+             corrupt={corrupt} wall={} store={}",
             self.name,
-            self.hits() + sims + failures.len() as u64,
+            self.hits() + sims + self.skipped() + failures.len() as u64,
             self.hits(),
             sims,
+            self.skipped(),
+            self.resumes(),
+            INTERRUPT_SIGNAL.load(Ordering::Relaxed),
             fmt_secs(sim_secs),
             fmt_secs(unit_mean),
             fmt_secs(unit_max),

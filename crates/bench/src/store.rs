@@ -26,7 +26,11 @@ use trace_gen::Benchmark;
 /// Bump whenever the fingerprint grammar or the entry serialization
 /// changes: old entries then miss (their embedded fingerprint no longer
 /// matches) and are recomputed rather than misread.
-pub const STORE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: every entry carries a trailing FNV-1a checksum line, so corruption
+/// is detected byte-for-byte instead of only when a field fails to parse
+/// (a flipped digit inside a counter parses fine under v2).
+pub const STORE_SCHEMA_VERSION: u32 = 3;
 
 const ENTRY_MAGIC: &str = "dbi-bench-result";
 
@@ -180,6 +184,14 @@ pub fn unit_key(config: &SystemConfig, benchmarks: &[Benchmark]) -> StoreKey {
     }
 }
 
+/// The store hash of a fingerprint string — what an entry's file name must
+/// equal. Shard merging uses this to verify that an entry sits under the
+/// name its content demands.
+#[must_use]
+pub fn fingerprint_hash(fingerprint: &str) -> u64 {
+    fnv1a(fingerprint.as_bytes())
+}
+
 /// A directory of serialized [`MixResult`]s, addressed by [`StoreKey`].
 #[derive(Debug)]
 pub struct ResultStore {
@@ -253,6 +265,90 @@ impl ResultStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Path of the mid-run checkpoint file for `key`.
+    #[must_use]
+    pub fn checkpoint_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.ckpt", key.hash))
+    }
+
+    /// Atomically writes a mid-run checkpoint for `key`: the key's hash
+    /// (little-endian, a cheap same-unit guard) followed by the snapshot
+    /// payload, which carries its own trailing checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat them as non-fatal (the run
+    /// continues, only resumability up to this point is lost).
+    pub fn save_checkpoint(&self, key: &StoreKey, payload: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".ckpt-{:016x}-{}", key.hash, std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&key.hash.to_le_bytes())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.checkpoint_path(key))
+    }
+
+    /// Loads the checkpoint payload for `key`, or `None` when absent or
+    /// written under a different hash. Deeper corruption is left to the
+    /// snapshot decoder's own checksum, which the caller must treat as a
+    /// cold start.
+    #[must_use]
+    pub fn load_checkpoint(&self, key: &StoreKey) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.checkpoint_path(key)).ok()?;
+        let (head, payload) = bytes.split_at_checked(8)?;
+        let head: [u8; 8] = head.try_into().ok()?;
+        (u64::from_le_bytes(head) == key.hash).then(|| payload.to_vec())
+    }
+
+    /// Removes the checkpoint for `key` (a completed or abandoned run).
+    pub fn clear_checkpoint(&self, key: &StoreKey) {
+        let _ = std::fs::remove_file(self.checkpoint_path(key));
+    }
+
+    /// Path of the lease file for `key`.
+    #[must_use]
+    pub fn lease_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.lease", key.hash))
+    }
+
+    /// Writes (or refreshes) the lease on `key`: the file's content names
+    /// the owner, its mtime is the heartbeat. Called once when a unit
+    /// starts and again at every checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat them as non-fatal.
+    pub fn write_lease(&self, key: &StoreKey, owner: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.lease_path(key), owner)
+    }
+
+    /// Age of the lease on `key` (time since its last heartbeat), or
+    /// `None` when no lease exists.
+    #[must_use]
+    pub fn lease_age(&self, key: &StoreKey) -> Option<std::time::Duration> {
+        let modified = std::fs::metadata(self.lease_path(key))
+            .and_then(|m| m.modified())
+            .ok()?;
+        Some(modified.elapsed().unwrap_or_default())
+    }
+
+    /// The owner recorded in the lease on `key`, if one exists.
+    #[must_use]
+    pub fn lease_owner(&self, key: &StoreKey) -> Option<String> {
+        std::fs::read_to_string(self.lease_path(key)).ok()
+    }
+
+    /// Releases the lease on `key`.
+    pub fn clear_lease(&self, key: &StoreKey) {
+        let _ = std::fs::remove_file(self.lease_path(key));
     }
 
     /// Number of entries currently in the store (for summaries; 0 if the
@@ -341,21 +437,48 @@ fn serialize(key: &StoreKey, result: &MixResult) -> String {
         )),
     }
     out.push_str(&format!("records {}\n", result.records_processed));
+    out.push_str(&format!("checksum {:016x}\n", fnv1a(out.as_bytes())));
     out.push_str("end\n");
     out
 }
 
 /// Strict line-oriented parser: any deviation returns `None` (a miss).
 fn deserialize(text: &str, key: &StoreKey) -> Option<MixResult> {
-    let mut lines = text.lines();
+    let (fingerprint, result) = deserialize_any(text)?;
+    // hash collision or schema drift — never serve it
+    (fingerprint == key.fingerprint).then_some(result)
+}
+
+/// Parses an entry *without* knowing its key in advance, returning the
+/// embedded fingerprint alongside the result. This is the shard-merge
+/// entry point: `merge_shards` walks entry files it did not create and
+/// must recover (and verify) each one's identity from its own bytes.
+///
+/// Returns `None` on any deviation: bad magic or schema, checksum
+/// mismatch, truncation, or a malformed field.
+#[must_use]
+pub fn deserialize_any(text: &str) -> Option<(String, MixResult)> {
+    // Verify the trailing checksum before believing any field. The
+    // checksum line covers every byte up to itself.
+    let rest = text.strip_suffix("end\n")?;
+    let sum_at = rest.rfind("checksum ")?;
+    if sum_at != 0 && !rest[..sum_at].ends_with('\n') {
+        return None;
+    }
+    let body = &rest[..sum_at];
+    let sum_hex = rest[sum_at..]
+        .strip_prefix("checksum ")?
+        .strip_suffix('\n')?;
+    if u64::from_str_radix(sum_hex, 16).ok()? != fnv1a(body.as_bytes()) {
+        return None;
+    }
+
+    let mut lines = body.lines();
     let header = lines.next()?;
     if header != format!("{ENTRY_MAGIC} v{STORE_SCHEMA_VERSION}") {
         return None;
     }
-    let fingerprint = lines.next()?.strip_prefix("fingerprint ")?;
-    if fingerprint != key.fingerprint {
-        return None; // hash collision or schema drift — never serve it
-    }
+    let fingerprint = lines.next()?.strip_prefix("fingerprint ")?.to_string();
     let n_cores: usize = lines.next()?.strip_prefix("cores ")?.parse().ok()?;
     // Mix sizes are 1–64 cores; anything else is corruption.
     if !(1..=64).contains(&n_cores) {
@@ -448,20 +571,23 @@ fn deserialize(text: &str, key: &StoreKey) -> Option<MixResult> {
         Some(stats)
     };
     let records_processed: u64 = lines.next()?.strip_prefix("records ")?.parse().ok()?;
-    if lines.next()? != "end" || lines.next().is_some() {
+    if lines.next().is_some() {
         return None;
     }
-    Some(MixResult {
-        cores,
-        llc,
-        dram,
-        energy,
-        dbi,
-        rewrite_filter,
-        check: None,
-        sanitizer: None,
-        records_processed,
-    })
+    Some((
+        fingerprint,
+        MixResult {
+            cores,
+            llc,
+            dram,
+            energy,
+            dbi,
+            rewrite_filter,
+            check: None,
+            sanitizer: None,
+            records_processed,
+        },
+    ))
 }
 
 fn parse_u64s(s: &str, n: usize) -> Option<Vec<u64>> {

@@ -1,0 +1,89 @@
+//! `--list-units` dry-run mode. Isolated in its own test binary because
+//! listing mode is process-global state: it must not leak into the other
+//! runner tests.
+
+use std::path::PathBuf;
+
+use dbi_bench::{BenchArgs, RunUnit, Runner};
+use system_sim::{Mechanism, SystemConfig};
+use trace_gen::Benchmark;
+
+#[test]
+fn list_units_simulates_nothing_and_suppresses_outputs() {
+    let dir = std::env::temp_dir().join(format!("dbi-list-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = BenchArgs {
+        cache_dir: Some(dir.clone()),
+        list_units: true,
+        ..BenchArgs::default()
+    };
+    let mut config = SystemConfig::for_cores(2, Mechanism::Baseline);
+    config.warmup_insts = 20_000;
+    config.measure_insts = 50_000;
+    let units = vec![
+        RunUnit::new(
+            trace_gen::mix::WorkloadMix::new(vec![Benchmark::Lbm, Benchmark::Mcf]),
+            config.clone(),
+        ),
+        RunUnit::alone(Benchmark::Stream, config),
+    ];
+
+    let runner = Runner::new("test-list", &args);
+    assert!(dbi_bench::listing(), "Runner::new enables listing mode");
+
+    // try_run_units returns placeholders without simulating...
+    let (results, failures) = runner.try_run_units("fig", &units);
+    assert!(failures.is_empty());
+    assert_eq!((runner.sims(), runner.hits()), (0, 0));
+    let first = results[0].as_ref().unwrap();
+    assert_eq!(first.cores.len(), 2, "placeholder matches the mix shape");
+    for core in &first.cores {
+        let ipc = core.ipc();
+        assert!(ipc.is_finite() && ipc > 0.0, "metric math stays finite");
+    }
+    assert!(matches!(first.check, Some(Ok(()))));
+
+    // ...run_units (the exiting API) does too, without exiting...
+    let all = runner.run_units("fig", &units);
+    assert_eq!(all.len(), 2);
+    assert_eq!(runner.sims(), 0);
+
+    // ...on-demand single units are listed, not simulated...
+    let _ = runner.run_unit(&units[1]);
+    assert_eq!(runner.sims(), 0);
+
+    // ...and the table/TSV emitters are no-ops, so the dry run's stdout
+    // is only the unit lines.
+    let tsv_dir = dir.join("results");
+    dbi_bench::write_tsv(
+        &tsv_dir,
+        "should-not-exist.tsv",
+        &["h".to_string()],
+        &[vec!["v".to_string()]],
+    );
+    assert!(
+        !tsv_dir.join("should-not-exist.tsv").exists(),
+        "write_tsv must be suppressed in listing mode"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_mode_suppresses_outputs_too() {
+    // A sharded run that leaves units to other machines must not write
+    // campaign outputs built from placeholder results. (Safe to toggle
+    // here: this binary's only other test is listing-mode, which
+    // suppresses output either way.)
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dbi-partial-test-{}", std::process::id()));
+    dbi_bench::set_partial(true);
+    dbi_bench::write_tsv(
+        &dir,
+        "partial.tsv",
+        &["h".to_string()],
+        &[vec!["v".to_string()]],
+    );
+    assert!(!dir.join("partial.tsv").exists());
+    dbi_bench::set_partial(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,237 @@
+//! Integration tests for the checkpointed, sharded execution layer:
+//! in-process crash/resume through the store's checkpoint files, the
+//! deterministic shard partition, and lease-based takeover of units whose
+//! owner died.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dbi_bench::{shard_of, unit_key, BenchArgs, ResultStore, RunUnit, Runner};
+use system_sim::{Mechanism, SystemConfig};
+use trace_gen::Benchmark;
+
+/// A configuration small enough that a store miss costs milliseconds.
+fn tiny_config(seed: u64) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(
+        1,
+        Mechanism::Dbi {
+            awb: true,
+            clb: false,
+        },
+    );
+    c.warmup_insts = 20_000;
+    c.measure_insts = 50_000;
+    c.seed = seed;
+    c
+}
+
+/// Per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("dbi-shard-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn args(&self) -> BenchArgs {
+        BenchArgs {
+            cache_dir: Some(self.0.clone()),
+            ..BenchArgs::default()
+        }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn crashed_unit_resumes_from_its_checkpoint_bit_identically() {
+    let scratch = Scratch::new("resume");
+    let unit = RunUnit::alone(Benchmark::Lbm, tiny_config(7));
+    let key = unit_key(&unit.config, unit.mix.benchmarks());
+    let straight = system_sim::run_mix(&unit.mix, &unit.config).digest();
+
+    // "Kill" the process after its second checkpoint: the unit suspends,
+    // no result is produced, but a durable checkpoint and a lease remain.
+    let crashed = Runner::new("test-crash", &scratch.args())
+        .with_checkpoint_every(500)
+        .with_crash_after_checkpoints(2);
+    let (results, failures) = crashed.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(failures.is_empty(), "a suspension is not a failure");
+    assert!(results[0].is_none(), "the crashed unit yields no result");
+    assert_eq!(crashed.sims(), 0);
+    let store = ResultStore::open(scratch.0.clone());
+    assert!(
+        store.load_checkpoint(&key).is_some(),
+        "a durable checkpoint must remain"
+    );
+    assert!(store.lease_age(&key).is_some(), "the lease must remain");
+
+    // The rerun resumes mid-flight instead of starting cold, finishes,
+    // and produces exactly the straight-through result.
+    let rerun = Runner::new("test-resume", &scratch.args()).with_checkpoint_every(500);
+    let (results, failures) = rerun.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(failures.is_empty());
+    assert_eq!((rerun.sims(), rerun.resumes()), (1, 1));
+    assert_eq!(results[0].as_ref().unwrap().digest(), straight);
+
+    // Completion cleans up: checkpoint and lease gone, entry present.
+    assert!(store.load_checkpoint(&key).is_none());
+    assert!(store.lease_age(&key).is_none());
+    assert!(store.load(&key).is_some());
+
+    // And the warm rerun serves the resumed result from the store.
+    let warm = Runner::new("test-warm", &scratch.args());
+    let warm_result = warm.run_unit(&unit);
+    assert_eq!((warm.sims(), warm.hits()), (0, 1));
+    assert_eq!(warm_result.digest(), straight);
+}
+
+#[test]
+fn corrupt_checkpoints_fall_back_to_a_cold_start() {
+    let scratch = Scratch::new("badckpt");
+    let unit = RunUnit::alone(Benchmark::Mcf, tiny_config(9));
+    let key = unit_key(&unit.config, unit.mix.benchmarks());
+    let straight = system_sim::run_mix(&unit.mix, &unit.config).digest();
+
+    let crashed = Runner::new("test-badckpt", &scratch.args())
+        .with_checkpoint_every(500)
+        .with_crash_after_checkpoints(1);
+    let (results, _) = crashed.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(results[0].is_none());
+
+    // Bit-flip the checkpoint payload; the rerun must detect it (the
+    // snapshot checksum), discard it, and still produce the right result.
+    let store = ResultStore::open(scratch.0.clone());
+    let path = store.checkpoint_path(&key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let rerun = Runner::new("test-badckpt2", &scratch.args()).with_checkpoint_every(500);
+    let (results, failures) = rerun.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(failures.is_empty());
+    assert_eq!(
+        (rerun.sims(), rerun.resumes()),
+        (1, 0),
+        "a corrupt checkpoint must cold-start, not resume"
+    );
+    assert_eq!(results[0].as_ref().unwrap().digest(), straight);
+}
+
+#[test]
+fn shard_partition_is_total_and_disjoint() {
+    let scratch_a = Scratch::new("shard-a");
+    let scratch_b = Scratch::new("shard-b");
+    let units: Vec<RunUnit> = (0..4)
+        .map(|s| RunUnit::alone(Benchmark::Lbm, tiny_config(s)))
+        .collect();
+    let owners: Vec<u32> = units
+        .iter()
+        .map(|u| shard_of(unit_key(&u.config, u.mix.benchmarks()).hash, 2))
+        .collect();
+    assert!(owners.iter().all(|&o| o == 1 || o == 2));
+
+    // Two "machines", each with its own store, each running the same
+    // campaign restricted to its shard.
+    let mut sims = 0;
+    for (mine, scratch) in [(1u32, &scratch_a), (2u32, &scratch_b)] {
+        let runner = Runner::new("test-shard", &scratch.args()).with_shard(Some((mine, 2)));
+        let (results, failures) = runner.try_run_units("fig", &units);
+        assert!(failures.is_empty());
+        let owned = owners.iter().filter(|&&o| o == mine).count() as u64;
+        assert_eq!(
+            runner.sims(),
+            owned,
+            "shard {mine} simulates only its units"
+        );
+        assert_eq!(runner.skipped(), 4 - owned);
+        for (result, &owner) in results.iter().zip(&owners) {
+            assert_eq!(result.is_some(), owner == mine);
+        }
+        sims += runner.sims();
+    }
+    assert_eq!(sims, 4, "every unit simulated on exactly one machine");
+
+    // Merging the two stores yields one complete, clean store.
+    let out = Scratch::new("shard-merged");
+    let report =
+        dbi_bench::merge_shards(&[scratch_a.0.clone(), scratch_b.0.clone()], &out.0, None).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.merged.len(), 4);
+
+    // On the merged store, an unsharded (or sharded) rerun hits every
+    // unit without simulating.
+    let merged_args = BenchArgs {
+        cache_dir: Some(out.0.clone()),
+        ..BenchArgs::default()
+    };
+    let warm = Runner::new("test-merged", &merged_args);
+    let (results, _) = warm.try_run_units("fig", &units);
+    assert!(results.iter().all(Option::is_some));
+    assert_eq!((warm.sims(), warm.hits()), (0, 4));
+}
+
+#[test]
+fn foreign_units_with_fresh_leases_are_left_alone() {
+    let scratch = Scratch::new("fresh-lease");
+    let unit = RunUnit::alone(Benchmark::Stream, tiny_config(3));
+    let key = unit_key(&unit.config, unit.mix.benchmarks());
+    let not_mine = 3 - shard_of(key.hash, 2); // the shard that does NOT own it
+
+    // Another machine is (supposedly) working on the unit right now.
+    let store = ResultStore::open(scratch.0.clone());
+    store.write_lease(&key, "machine-b:123").unwrap();
+
+    let runner = Runner::new("test-fresh", &scratch.args())
+        .with_shard(Some((not_mine, 2)))
+        .with_lease_stale_after(Duration::from_secs(3600));
+    let (results, failures) = runner.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(failures.is_empty());
+    assert!(results[0].is_none(), "a leased foreign unit is skipped");
+    assert_eq!((runner.sims(), runner.skipped()), (0, 1));
+    assert_eq!(
+        store.lease_owner(&key).as_deref(),
+        Some("machine-b:123"),
+        "the other machine's lease is untouched"
+    );
+}
+
+#[test]
+fn stale_leases_are_taken_over() {
+    let scratch = Scratch::new("stale-lease");
+    let unit = RunUnit::alone(Benchmark::Stream, tiny_config(4));
+    let key = unit_key(&unit.config, unit.mix.benchmarks());
+    let not_mine = 3 - shard_of(key.hash, 2);
+
+    // A machine took the lease and died; with a zero staleness threshold
+    // the lease is immediately stale.
+    let store = ResultStore::open(scratch.0.clone());
+    store.write_lease(&key, "dead-machine:666").unwrap();
+
+    let rescuer = Runner::new("test-rescue", &scratch.args())
+        .with_shard(Some((not_mine, 2)))
+        .with_lease_stale_after(Duration::ZERO)
+        .with_takeover_backoff(Duration::ZERO);
+    let (results, failures) = rescuer.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(failures.is_empty());
+    assert!(results[0].is_some(), "the stale unit is rescued");
+    assert_eq!((rescuer.sims(), rescuer.skipped()), (1, 0));
+    assert!(store.load(&key).is_some(), "the rescued result is stored");
+    assert!(store.lease_age(&key).is_none(), "the lease is released");
+
+    // A second would-be rescuer now just hits the store.
+    let second = Runner::new("test-rescue2", &scratch.args())
+        .with_shard(Some((not_mine, 2)))
+        .with_lease_stale_after(Duration::ZERO)
+        .with_takeover_backoff(Duration::ZERO);
+    let (results, _) = second.try_run_units("fig", std::slice::from_ref(&unit));
+    assert!(results[0].is_some());
+    assert_eq!((second.sims(), second.hits()), (0, 1));
+}

@@ -329,6 +329,100 @@ fn corrupt_entries_are_counted_not_just_recomputed() {
 }
 
 #[test]
+fn entry_checksum_catches_flips_that_still_parse() {
+    // v2's weakness: a flipped digit inside a counter parses fine and
+    // would silently serve a wrong result. v3's trailing checksum makes
+    // that a counted corruption instead.
+    let scratch = Scratch::new("checksum");
+    let config = tiny_config(Mechanism::Baseline);
+    let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
+    let key = unit_key(&config, mix.benchmarks());
+    let result = system_sim::run_mix(&mix, &config);
+
+    let store = ResultStore::open(scratch.0.clone());
+    store.save(&key, &result).expect("save");
+
+    let path = store.entry_path(&key);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let records: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("records "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let tampered = text.replace(
+        &format!("records {records}"),
+        &format!("records {}", records + 1),
+    );
+    assert_ne!(text, tampered);
+    std::fs::write(&path, tampered).unwrap();
+
+    assert!(store.load(&key).is_none(), "tampered entry must miss");
+    assert_eq!(store.corrupt_count(), 1, "and be counted as corruption");
+}
+
+#[test]
+fn deserialize_any_recovers_fingerprint_and_result() {
+    let scratch = Scratch::new("any");
+    let config = tiny_config(Mechanism::Dawb);
+    let mix = WorkloadMix::new(vec![Benchmark::Mcf]);
+    let key = unit_key(&config, mix.benchmarks());
+    let result = system_sim::run_mix(&mix, &config);
+
+    let store = ResultStore::open(scratch.0.clone());
+    store.save(&key, &result).expect("save");
+    let text = std::fs::read_to_string(store.entry_path(&key)).unwrap();
+
+    let (fingerprint, loaded) =
+        dbi_bench::store::deserialize_any(&text).expect("clean entry parses");
+    assert_eq!(fingerprint, key.fingerprint);
+    assert_eq!(dbi_bench::fingerprint_hash(&fingerprint), key.hash);
+    assert_eq!(loaded.digest(), result.digest());
+}
+
+#[test]
+fn checkpoints_round_trip_and_reject_foreign_hashes() {
+    let scratch = Scratch::new("ckpt");
+    let store = ResultStore::open(scratch.0.clone());
+    let key_a = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Lbm]);
+    let key_b = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Mcf]);
+
+    assert!(store.load_checkpoint(&key_a).is_none());
+    let payload = vec![0xAB; 257];
+    store.save_checkpoint(&key_a, &payload).expect("save");
+    assert_eq!(store.load_checkpoint(&key_a).as_deref(), Some(&payload[..]));
+
+    // A checkpoint copied (or renamed) under another unit's name is
+    // rejected by the embedded hash guard.
+    std::fs::copy(store.checkpoint_path(&key_a), store.checkpoint_path(&key_b)).unwrap();
+    assert!(store.load_checkpoint(&key_b).is_none());
+
+    // A truncated checkpoint is rejected, not misread.
+    std::fs::write(store.checkpoint_path(&key_a), [1, 2, 3]).unwrap();
+    assert!(store.load_checkpoint(&key_a).is_none());
+
+    store.clear_checkpoint(&key_a);
+    store.clear_checkpoint(&key_b);
+    assert!(!store.checkpoint_path(&key_a).exists());
+}
+
+#[test]
+fn leases_record_owner_and_age() {
+    let scratch = Scratch::new("lease");
+    let store = ResultStore::open(scratch.0.clone());
+    let key = unit_key(&tiny_config(Mechanism::Baseline), &[Benchmark::Lbm]);
+
+    assert!(store.lease_age(&key).is_none());
+    assert!(store.lease_owner(&key).is_none());
+    store.write_lease(&key, "fig7:4242").expect("lease");
+    assert_eq!(store.lease_owner(&key).as_deref(), Some("fig7:4242"));
+    let age = store.lease_age(&key).expect("lease has an age");
+    assert!(age < Duration::from_secs(60), "freshly written: {age:?}");
+    store.clear_lease(&key);
+    assert!(store.lease_age(&key).is_none());
+}
+
+#[test]
 fn check_runs_bypass_the_store() {
     let scratch = Scratch::new("check");
     let mut config = tiny_config(Mechanism::Baseline);

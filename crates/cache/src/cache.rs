@@ -521,6 +521,102 @@ impl Cache {
     }
 }
 
+impl ReplacementKind {
+    fn snap_code(self) -> u8 {
+        match self {
+            ReplacementKind::Lru => 0,
+            ReplacementKind::Rrip => 1,
+        }
+    }
+}
+
+impl dbi::snap::Snapshot for CacheStats {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        let CacheStats {
+            lookups,
+            hits,
+            insertions,
+            evictions,
+            dirty_evictions,
+        } = *self;
+        for x in [lookups, hits, insertions, evictions, dirty_evictions] {
+            w.u64(x);
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        self.lookups = r.u64()?;
+        self.hits = r.u64()?;
+        self.insertions = r.u64()?;
+        self.evictions = r.u64()?;
+        self.dirty_evictions = r.u64()?;
+        Ok(())
+    }
+}
+
+impl dbi::snap::Snapshot for Cache {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        w.u8(self.config.replacement.snap_code());
+        w.usize(self.lines.len());
+        for line in &self.lines {
+            w.bool(line.valid);
+            if line.valid {
+                w.u64(line.block);
+                w.bool(line.dirty);
+                w.u8(line.thread);
+                w.i64(line.meta);
+            }
+        }
+        w.i64(self.clock);
+        w.i64(self.low_clock);
+        self.stats.snapshot(w);
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
+        let code = r.u8()?;
+        if code != self.config.replacement.snap_code() {
+            return Err(SnapError::Mismatch {
+                what: "cache replacement kind",
+                expected: u64::from(self.config.replacement.snap_code()),
+                found: u64::from(code),
+            });
+        }
+        r.expect_len("cache lines", self.lines.len())?;
+        let ways = self.config.ways;
+        let set_mask = self.set_mask;
+        let sets = self.config.sets();
+        let set_of = |block: u64| match set_mask {
+            Some(mask) => block & mask,
+            None => block % sets,
+        };
+        for (i, line) in self.lines.iter_mut().enumerate() {
+            if r.bool()? {
+                let block = r.u64()?;
+                // A valid line must sit in the set its block maps to.
+                if set_of(block) as usize != i / ways {
+                    return Err(SnapError::Corrupt(format!(
+                        "cache line for block {block} restored into wrong set"
+                    )));
+                }
+                *line = Line {
+                    block,
+                    valid: true,
+                    dirty: r.bool()?,
+                    thread: r.u8()?,
+                    meta: r.i64()?,
+                };
+            } else {
+                *line = INVALID;
+            }
+        }
+        self.clock = r.i64()?;
+        self.low_clock = r.i64()?;
+        self.stats.restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,25 @@ impl SetStateVector {
     }
 }
 
+impl dbi::snap::Snapshot for SetStateVector {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        w.usize(self.tracked_ways);
+        w.usize(self.bits.len());
+        for &b in &self.bits {
+            w.bool(b);
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        r.expect_len("SSV tracked ways", self.tracked_ways)?;
+        r.expect_len("SSV sets", self.bits.len())?;
+        for b in &mut self.bits {
+            *b = r.bool()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

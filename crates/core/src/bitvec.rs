@@ -132,6 +132,35 @@ impl DirtyVec {
     }
 }
 
+impl crate::snap::Snapshot for DirtyVec {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.len());
+        let words = self.len().div_ceil(WORD_BITS);
+        for &word in &self.words[..words] {
+            w.u64(word);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        r.expect_len("DirtyVec length", self.len())?;
+        let words = self.len().div_ceil(WORD_BITS);
+        for word in &mut self.words[..words] {
+            *word = r.u64()?;
+        }
+        // Bits past `len` in the last word can never be set by a writer.
+        let spare = words * WORD_BITS - self.len();
+        if spare > 0 && self.words[words - 1] >> (WORD_BITS - spare) != 0 {
+            return Err(crate::snap::SnapError::Corrupt(
+                "DirtyVec bits set past its length".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for DirtyVec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "DirtyVec({}b:", self.len)?;

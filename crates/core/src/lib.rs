@@ -48,6 +48,7 @@ mod config;
 mod dbi;
 mod metadata;
 mod replacement;
+pub mod snap;
 mod stats;
 mod subblock;
 
@@ -56,6 +57,7 @@ pub use crate::config::{Alpha, DbiConfig, DbiConfigError};
 pub use crate::dbi::{Dbi, EvictedRow, MarkOutcome};
 pub use crate::metadata::{MetaDbi, MetaMarkOutcome};
 pub use crate::replacement::{DbiReplacementPolicy, BIP_EPSILON_RECIPROCAL};
+pub use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use crate::stats::DbiStats;
 pub use crate::subblock::SubBlockDbi;
 

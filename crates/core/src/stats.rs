@@ -56,6 +56,49 @@ impl DbiStats {
     }
 }
 
+impl crate::snap::Snapshot for DbiStats {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        // Full destructure so adding a field is a compile error here.
+        let DbiStats {
+            mark_requests,
+            entry_hits,
+            bits_set,
+            entry_insertions,
+            entry_evictions,
+            eviction_writebacks,
+            bits_cleared,
+            entry_invalidations,
+        } = *self;
+        for x in [
+            mark_requests,
+            entry_hits,
+            bits_set,
+            entry_insertions,
+            entry_evictions,
+            eviction_writebacks,
+            bits_cleared,
+            entry_invalidations,
+        ] {
+            w.u64(x);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.mark_requests = r.u64()?;
+        self.entry_hits = r.u64()?;
+        self.bits_set = r.u64()?;
+        self.entry_insertions = r.u64()?;
+        self.entry_evictions = r.u64()?;
+        self.eviction_writebacks = r.u64()?;
+        self.bits_cleared = r.u64()?;
+        self.entry_invalidations = r.u64()?;
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for DbiStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -473,6 +473,135 @@ impl MemoryController {
     }
 }
 
+impl dbi::snap::Snapshot for DramStats {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        let DramStats {
+            reads,
+            read_row_hits,
+            buffer_forwards,
+            writes,
+            write_row_hits,
+            activates,
+            drains,
+            refresh_stalls,
+            drain_cycles,
+            coalesced_writes,
+        } = *self;
+        for x in [
+            reads,
+            read_row_hits,
+            buffer_forwards,
+            writes,
+            write_row_hits,
+            activates,
+            drains,
+            refresh_stalls,
+            drain_cycles,
+            coalesced_writes,
+        ] {
+            w.u64(x);
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        self.reads = r.u64()?;
+        self.read_row_hits = r.u64()?;
+        self.buffer_forwards = r.u64()?;
+        self.writes = r.u64()?;
+        self.write_row_hits = r.u64()?;
+        self.activates = r.u64()?;
+        self.drains = r.u64()?;
+        self.refresh_stalls = r.u64()?;
+        self.drain_cycles = r.u64()?;
+        self.coalesced_writes = r.u64()?;
+        Ok(())
+    }
+}
+
+impl dbi::snap::Snapshot for Bank {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        match self.open_row {
+            Some(row) => {
+                w.bool(true);
+                w.u64(row);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.cas_ready);
+        w.u64(self.precharge_ready);
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        self.open_row = if r.bool()? { Some(r.u64()?) } else { None };
+        self.cas_ready = r.u64()?;
+        self.precharge_ready = r.u64()?;
+        Ok(())
+    }
+}
+
+impl dbi::snap::Snapshot for Channel {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            b.snapshot(w);
+        }
+        self.write_buffer.snapshot(w);
+        w.u64(self.bus_free);
+        w.bool(self.last_was_write);
+        w.usize(self.recent_activates.len());
+        for &t in &self.recent_activates {
+            w.u64(t);
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
+        r.expect_len("channel banks", self.banks.len())?;
+        for b in &mut self.banks {
+            b.restore(r)?;
+        }
+        self.write_buffer.restore(r)?;
+        self.bus_free = r.u64()?;
+        self.last_was_write = r.bool()?;
+        let n = r.usize()?;
+        if n > 4 {
+            return Err(SnapError::Corrupt(format!(
+                "activate window holds {n} > 4 entries"
+            )));
+        }
+        self.recent_activates.clear();
+        for _ in 0..n {
+            self.recent_activates.push_back(r.u64()?);
+        }
+        Ok(())
+    }
+}
+
+impl dbi::snap::Snapshot for MemoryController {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        // `scratch` is cleared at the start of every drain pass, so it is
+        // not part of the architectural state.
+        w.usize(self.channels.len());
+        for c in &self.channels {
+            c.snapshot(w);
+        }
+        self.stats.snapshot(w);
+        self.energy.snapshot(w);
+        w.u64(self.last_accrual);
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        r.expect_len("DRAM channels", self.channels.len())?;
+        for c in &mut self.channels {
+            c.restore(r)?;
+        }
+        self.stats.restore(r)?;
+        self.energy.restore(r)?;
+        self.last_accrual = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,6 +836,102 @@ mod policy_tests {
             watermark < full / 2.0,
             "watermark episodes ({watermark:.0} cyc) should be far shorter than full drains ({full:.0} cyc)"
         );
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use dbi::snap::{restore_bytes, snapshot_bytes, SnapError, Snapshot};
+
+    fn driven(config: DramConfig, ops: u64) -> MemoryController {
+        let mut m = MemoryController::new(config);
+        let mut now = 0;
+        for i in 0..ops {
+            // Mixed reads and writes over a handful of rows and banks.
+            let block = (i * 37) % 4096;
+            if i % 3 == 0 {
+                now = m.read(block, now);
+            } else {
+                m.enqueue_write(block, now);
+                now += 7;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_continues_identically() {
+        let mut config = DramConfig::ddr3_1066();
+        config.channels = 2;
+        config.write_buffer_capacity = 8;
+        let mut original = driven(config.clone(), 200);
+        let bytes = snapshot_bytes(&original);
+
+        let mut restored = MemoryController::new(config);
+        restore_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.pending_writes(), original.pending_writes());
+        assert_eq!(restored.channel_free_at(), original.channel_free_at());
+
+        // Both copies must observe identical timing from here on.
+        let mut now = original.channel_free_at();
+        for i in 0..100u64 {
+            let block = (i * 53) % 4096;
+            assert_eq!(original.read(block, now), restored.read(block, now));
+            original.enqueue_write(block + 1, now);
+            restored.enqueue_write(block + 1, now);
+            now += 11;
+        }
+        let end_a = original.flush(now);
+        let end_b = restored.flush(now);
+        assert_eq!(end_a, end_b);
+        assert_eq!(original.stats(), restored.stats());
+        assert_eq!(
+            original.energy().total_pj().to_bits(),
+            restored.energy().total_pj().to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        let config = DramConfig::ddr3_1066();
+        let m = driven(config.clone(), 50);
+        let bytes = snapshot_bytes(&m);
+
+        let mut two_channel = config;
+        two_channel.channels = 2;
+        let mut wrong = MemoryController::new(two_channel);
+        assert!(matches!(
+            restore_bytes(&mut wrong, &bytes),
+            Err(SnapError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_bytes() {
+        let m = driven(DramConfig::ddr3_1066(), 50);
+        let mut bytes = snapshot_bytes(&m);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut fresh = MemoryController::new(DramConfig::ddr3_1066());
+        assert!(restore_bytes(&mut fresh, &bytes).is_err());
+    }
+
+    #[test]
+    fn write_buffer_restore_rejects_duplicates() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(1);
+        wb.push(2);
+        let mut w = dbi::snap::SnapWriter::new();
+        w.usize(4); // capacity
+        w.usize(2); // len
+        w.u64(9);
+        w.u64(9); // duplicate
+        w.u64(0); // coalesced
+        let bytes = w.finish();
+        let mut r = dbi::snap::SnapReader::new(&bytes).unwrap();
+        assert!(matches!(wb.restore(&mut r), Err(SnapError::Corrupt(_))));
     }
 }
 

@@ -77,6 +77,28 @@ impl DramEnergy {
     }
 }
 
+impl dbi::snap::Snapshot for DramEnergy {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        let DramEnergy {
+            activate_pj,
+            read_pj,
+            write_pj,
+            background_pj,
+        } = *self;
+        for x in [activate_pj, read_pj, write_pj, background_pj] {
+            w.f64(x);
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        self.activate_pj = r.f64()?;
+        self.read_pj = r.f64()?;
+        self.write_pj = r.f64()?;
+        self.background_pj = r.f64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

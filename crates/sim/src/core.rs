@@ -390,6 +390,68 @@ impl CoreEngine {
     }
 }
 
+impl dbi::snap::Snapshot for CoreEngine {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        // `l2_sweep_scratch` is cleared at the start of every sweep; the
+        // remaining config-derived fields (latencies, window, MSHRs) are
+        // validated structurally, not stored.
+        w.u64(u64::from(self.thread));
+        self.generator.snapshot(w);
+        self.l1.snapshot(w);
+        self.l2.snapshot(w);
+        match &self.l2_dbi {
+            Some(d) => {
+                w.bool(true);
+                d.snapshot(w);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.cycle);
+        w.u64(self.insts);
+        w.usize(self.outstanding.len());
+        for &(idx, done) in &self.outstanding {
+            w.u64(idx);
+            w.u64(done);
+        }
+        w.u64(self.last_load_completion);
+        w.u64(self.llc_reads);
+        w.u64(self.llc_read_misses);
+        w.u64(self.records);
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
+        r.expect_u64("core thread id", u64::from(self.thread))?;
+        self.generator.restore(r)?;
+        self.l1.restore(r)?;
+        self.l2.restore(r)?;
+        r.expect_bool("L2 DBI presence", self.l2_dbi.is_some())?;
+        if let Some(d) = &mut self.l2_dbi {
+            d.restore(r)?;
+        }
+        self.cycle = r.u64()?;
+        self.insts = r.u64()?;
+        let n = r.usize()?;
+        if n > self.mshrs {
+            return Err(SnapError::Corrupt(format!(
+                "{n} outstanding loads exceed the {} MSHRs",
+                self.mshrs
+            )));
+        }
+        self.outstanding.clear();
+        for _ in 0..n {
+            let idx = r.u64()?;
+            let done = r.u64()?;
+            self.outstanding.push_back((idx, done));
+        }
+        self.last_load_completion = r.u64()?;
+        self.llc_reads = r.u64()?;
+        self.llc_read_misses = r.u64()?;
+        self.records = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -310,6 +310,117 @@ impl Sanitizer {
     }
 }
 
+impl InvariantKind {
+    fn snap_code(self) -> u8 {
+        match self {
+            InvariantKind::DirtyCoherence => 0,
+            InvariantKind::AlphaBound => 1,
+            InvariantKind::EvictionWriteback => 2,
+            InvariantKind::DirtyBypass => 3,
+            InvariantKind::SsvCoherence => 4,
+        }
+    }
+
+    fn from_snap_code(code: u8) -> Result<InvariantKind, dbi::snap::SnapError> {
+        [
+            InvariantKind::DirtyCoherence,
+            InvariantKind::AlphaBound,
+            InvariantKind::EvictionWriteback,
+            InvariantKind::DirtyBypass,
+            InvariantKind::SsvCoherence,
+        ]
+        .into_iter()
+        .find(|k| k.snap_code() == code)
+        .ok_or_else(|| dbi::snap::SnapError::Corrupt(format!("invariant-kind code {code}")))
+    }
+}
+
+impl dbi::snap::Snapshot for Sanitizer {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        // Hash sets iterate nondeterministically; sort for stable bytes.
+        let mut dirty: Vec<u64> = self.shadow_dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        w.usize(dirty.len());
+        for b in dirty {
+            w.u64(b);
+        }
+        match &self.shadow_ssv {
+            Some(bits) => {
+                w.bool(true);
+                w.usize(bits.len());
+                for &b in bits {
+                    w.bool(b);
+                }
+            }
+            None => w.bool(false),
+        }
+        let mut seen: Vec<(u8, u64)> = self.seen.iter().map(|&(k, t)| (k.snap_code(), t)).collect();
+        seen.sort_unstable();
+        w.usize(seen.len());
+        for (code, target) in seen {
+            w.u8(code);
+            w.u64(target);
+        }
+        w.usize(self.violations.len());
+        for v in &self.violations {
+            w.u8(v.kind.snap_code());
+            w.u64(v.target);
+            w.str(&v.detail);
+        }
+        w.u64(self.total_violations);
+        w.u64(self.scans);
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
+        let n = r.usize()?;
+        self.shadow_dirty.clear();
+        for _ in 0..n {
+            let b = r.u64()?;
+            if !self.shadow_dirty.insert(b) {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate shadow-dirty block {b}"
+                )));
+            }
+        }
+        r.expect_bool("sanitizer SSV mirror", self.shadow_ssv.is_some())?;
+        if let Some(bits) = &mut self.shadow_ssv {
+            r.expect_len("sanitizer SSV sets", bits.len())?;
+            for b in bits.iter_mut() {
+                *b = r.bool()?;
+            }
+        }
+        let n = r.usize()?;
+        self.seen.clear();
+        for _ in 0..n {
+            let kind = InvariantKind::from_snap_code(r.u8()?)?;
+            let target = r.u64()?;
+            if !self.seen.insert((kind, target)) {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate violation key {kind} @ {target}"
+                )));
+            }
+        }
+        let n = r.usize()?;
+        if n > MAX_DETAILS {
+            return Err(SnapError::Corrupt(format!(
+                "{n} violation details exceed the {MAX_DETAILS} cap"
+            )));
+        }
+        self.violations.clear();
+        for _ in 0..n {
+            self.violations.push(InvariantViolation {
+                kind: InvariantKind::from_snap_code(r.u8()?)?,
+                target: r.u64()?,
+                detail: r.str()?,
+            });
+        }
+        self.total_violations = r.u64()?;
+        self.scans = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

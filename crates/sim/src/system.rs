@@ -1,6 +1,7 @@
 //! The assembled system: cores + shared LLC + DRAM, and the run loop.
 
 use cache_sim::lastwrite::RewriteFilterStats;
+use dbi::snap::Snapshot;
 use dbi::DbiStats;
 use dram_sim::{DramEnergy, DramStats, MemoryController};
 use trace_gen::mix::WorkloadMix;
@@ -71,6 +72,38 @@ impl MixResult {
     pub fn wpki(&self) -> f64 {
         crate::metrics::per_kilo(self.dram.writes, self.total_insts())
     }
+
+    /// A deterministic fingerprint covering every field, used to prove two
+    /// runs bit-identical (e.g. straight-through vs checkpoint-resumed).
+    /// Energy floats are rendered as IEEE-754 bit patterns so the digest
+    /// never depends on decimal formatting.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let MixResult {
+            cores,
+            llc,
+            dram,
+            energy,
+            dbi,
+            rewrite_filter,
+            check,
+            sanitizer,
+            records_processed,
+        } = self;
+        let energy_bits: Vec<String> = [
+            energy.activate_pj,
+            energy.read_pj,
+            energy.write_pj,
+            energy.background_pj,
+        ]
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect();
+        format!(
+            "{cores:?}|{llc:?}|{dram:?}|{}|{dbi:?}|{rewrite_filter:?}|{check:?}|{sanitizer:?}|{records_processed}",
+            energy_bits.join(",")
+        )
+    }
 }
 
 fn diff_llc(end: &LlcStats, start: &LlcStats) -> LlcStats {
@@ -88,6 +121,121 @@ fn diff_llc(end: &LlcStats, start: &LlcStats) -> LlcStats {
             .zip(&start.dram_writes_per_core)
             .map(|(e, s)| e - s)
             .collect(),
+    }
+}
+
+/// How a resumable run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The run completed and produced its measured results.
+    Finished(Box<MixResult>),
+    /// The checkpoint sink asked to stop; the last checkpoint it accepted
+    /// is the point to resume from.
+    Suspended,
+}
+
+/// Run-loop progress that lives outside the [`System`] itself: step count,
+/// phase, and the measurement baselines captured at the warmup boundary.
+#[derive(Debug)]
+struct RunState {
+    steps: u64,
+    measuring: bool,
+    base: Vec<CoreSnapshot>,
+    end: Vec<Option<CoreSnapshot>>,
+    llc_base: LlcStats,
+    dram_base: DramStats,
+    energy_base: DramEnergy,
+    dbi_base: Option<DbiStats>,
+}
+
+impl RunState {
+    fn cold(sys: &System) -> RunState {
+        RunState {
+            steps: 0,
+            measuring: false,
+            base: Vec::new(),
+            end: Vec::new(),
+            llc_base: sys.llc.stats().clone(),
+            dram_base: DramStats::default(),
+            energy_base: DramEnergy::default(),
+            dbi_base: None,
+        }
+    }
+
+    fn done(&self) -> usize {
+        self.end.iter().filter(|e| e.is_some()).count()
+    }
+
+    fn write(&self, w: &mut dbi::snap::SnapWriter) {
+        w.u64(self.steps);
+        w.bool(self.measuring);
+        if !self.measuring {
+            // Baselines don't exist yet; a warmup-phase resume recaptures
+            // them at the boundary exactly as a straight-through run would.
+            return;
+        }
+        w.usize(self.base.len());
+        for &(insts, cycles, reads, misses, writes) in &self.base {
+            for x in [insts, cycles, reads, misses, writes] {
+                w.u64(x);
+            }
+        }
+        for e in &self.end {
+            match e {
+                Some((insts, cycles, reads, misses, writes)) => {
+                    w.bool(true);
+                    for &x in [insts, cycles, reads, misses, writes] {
+                        w.u64(x);
+                    }
+                }
+                None => w.bool(false),
+            }
+        }
+        self.llc_base.snapshot(w);
+        self.dram_base.snapshot(w);
+        self.energy_base.snapshot(w);
+        match &self.dbi_base {
+            Some(s) => {
+                w.bool(true);
+                s.snapshot(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn read(
+        r: &mut dbi::snap::SnapReader<'_>,
+        sys: &System,
+    ) -> Result<RunState, dbi::snap::SnapError> {
+        let mut st = RunState::cold(sys);
+        st.steps = r.u64()?;
+        st.measuring = r.bool()?;
+        if !st.measuring {
+            return Ok(st);
+        }
+        let n = sys.cores.len();
+        r.expect_len("measurement baselines", n)?;
+        for _ in 0..n {
+            st.base
+                .push((r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?));
+        }
+        for _ in 0..n {
+            st.end.push(if r.bool()? {
+                Some((r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?))
+            } else {
+                None
+            });
+        }
+        st.llc_base.restore(r)?;
+        st.dram_base.restore(r)?;
+        st.energy_base.restore(r)?;
+        r.expect_bool("DBI baseline presence", sys.llc.dbi().is_some())?;
+        if sys.llc.dbi().is_some() {
+            let mut s = DbiStats::default();
+            s.restore(r)?;
+            st.dbi_base = Some(s);
+        }
+        Ok(st)
     }
 }
 
@@ -174,46 +322,117 @@ impl System {
     /// generating interference) until every core has finished, following
     /// the standard multi-programmed methodology.
     #[must_use]
-    pub fn run(mut self) -> MixResult {
+    pub fn run(self) -> MixResult {
+        match self.run_resumable(None, 0, &mut |_| true) {
+            Ok(RunOutcome::Finished(result)) => *result,
+            Ok(RunOutcome::Suspended) => unreachable!("the always-true sink never suspends"),
+            Err(e) => unreachable!("a cold start restores nothing: {e}"),
+        }
+    }
+
+    /// Serializes the full mid-run state (mechanisms + run-loop progress)
+    /// as one self-checksummed snapshot.
+    fn freeze(&self, st: &RunState) -> Vec<u8> {
+        let mut w = dbi::snap::SnapWriter::new();
+        self.snapshot(&mut w);
+        st.write(&mut w);
+        w.finish()
+    }
+
+    /// Offers a checkpoint to `sink` when one is due; false = suspend.
+    fn checkpoint_due(
+        &self,
+        st: &RunState,
+        every: u64,
+        sink: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> bool {
+        if every == 0 || !st.steps.is_multiple_of(every) {
+            return true;
+        }
+        sink(&self.freeze(st))
+    }
+
+    /// [`run`](System::run) with checkpoint/restore: the same loop, but
+    /// every `checkpoint_every` trace records the complete simulation state
+    /// is serialized and offered to `sink`. A `false` from the sink
+    /// suspends the run ([`RunOutcome::Suspended`]); resuming later from
+    /// the accepted bytes continues bit-identically — the step sequence,
+    /// sanitizer scan points, and measurement boundaries all derive from
+    /// the serialized state, never from how many times the process ran.
+    ///
+    /// `checkpoint_every = 0` disables checkpointing entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error when `resume` bytes are truncated,
+    /// corrupted, or captured from a differently-configured system. The
+    /// system itself may be left partially restored; discard it and start
+    /// cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured measurement window is empty.
+    pub fn run_resumable(
+        mut self,
+        resume: Option<&[u8]>,
+        checkpoint_every: u64,
+        sink: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<RunOutcome, dbi::snap::SnapError> {
         let warm = self.config.warmup_insts;
         let measure = self.config.measure_insts;
         assert!(measure > 0, "measurement window must be nonempty");
+        let n = self.cores.len();
+
+        let mut st = match resume {
+            Some(bytes) => {
+                let mut r = dbi::snap::SnapReader::new(bytes)?;
+                self.restore(&mut r)?;
+                let st = RunState::read(&mut r, &self)?;
+                r.finish()?;
+                st
+            }
+            None => RunState::cold(&self),
+        };
 
         // Phase 1: warm until every core has retired `warm` instructions.
-        let mut steps = 0u64;
-        while self.cores.iter().any(|c| c.insts < warm) {
-            let _ = self.step_next(&mut steps);
+        if !st.measuring {
+            while self.cores.iter().any(|c| c.insts < warm) {
+                let _ = self.step_next(&mut st.steps);
+                if !self.checkpoint_due(&st, checkpoint_every, sink) {
+                    return Ok(RunOutcome::Suspended);
+                }
+            }
+
+            // Capture measurement baselines at the warmup boundary.
+            st.base = self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    (
+                        c.insts,
+                        c.cycle,
+                        c.llc_reads,
+                        c.llc_read_misses,
+                        self.llc.stats().dram_writes_per_core[i],
+                    )
+                })
+                .collect();
+            st.end = vec![None; n];
+            st.llc_base = self.llc.stats().clone();
+            st.dram_base = *self.dram.stats();
+            st.energy_base = *self.dram.energy();
+            st.dbi_base = self.llc.dbi().map(|d| *d.stats());
+            st.measuring = true;
         }
 
-        // Snapshot measurement baselines.
-        let n = self.cores.len();
-        let base: Vec<CoreSnapshot> = self
-            .cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                (
-                    c.insts,
-                    c.cycle,
-                    c.llc_reads,
-                    c.llc_read_misses,
-                    self.llc.stats().dram_writes_per_core[i],
-                )
-            })
-            .collect();
-        let llc_base = self.llc.stats().clone();
-        let dram_base = *self.dram.stats();
-        let energy_base = *self.dram.energy();
-        let dbi_base = self.llc.dbi().map(|d| *d.stats());
-
         // Phase 2: measure until every core retires `measure` more.
-        let mut end: Vec<Option<CoreSnapshot>> = vec![None; n];
-        let mut done = 0usize;
+        let mut done = st.done();
         while done < n {
-            let i = self.step_next(&mut steps);
+            let i = self.step_next(&mut st.steps);
             let c = &self.cores[i];
-            if end[i].is_none() && c.insts >= base[i].0 + measure {
-                end[i] = Some((
+            if st.end[i].is_none() && c.insts >= st.base[i].0 + measure {
+                st.end[i] = Some((
                     c.insts,
                     c.cycle,
                     c.llc_reads,
@@ -222,6 +441,9 @@ impl System {
                 ));
                 done += 1;
             }
+            if !self.checkpoint_due(&st, checkpoint_every, sink) {
+                return Ok(RunOutcome::Suspended);
+            }
         }
 
         let cores: Vec<CoreResult> = self
@@ -229,8 +451,8 @@ impl System {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let e = end[i].expect("all cores finished");
-                let b = base[i];
+                let e = st.end[i].expect("all cores finished");
+                let b = st.base[i];
                 CoreResult {
                     benchmark: c.benchmark.clone(),
                     insts: e.0 - b.0,
@@ -241,13 +463,13 @@ impl System {
                 }
             })
             .collect();
-        let llc = diff_llc(self.llc.stats(), &llc_base);
-        let dram = self.dram.stats().since(&dram_base);
-        let energy = self.dram.energy().since(&energy_base);
+        let llc = diff_llc(self.llc.stats(), &st.llc_base);
+        let dram = self.dram.stats().since(&st.dram_base);
+        let energy = self.dram.energy().since(&st.energy_base);
         let dbi = self
             .llc
             .dbi()
-            .map(|d| d.stats().since(dbi_base.as_ref().expect("dbi baseline")));
+            .map(|d| d.stats().since(st.dbi_base.as_ref().expect("dbi baseline")));
 
         let rewrite_filter = self.llc.rewrite_filter_stats().copied();
         let records_processed = self.cores.iter().map(|c| c.records).sum();
@@ -256,7 +478,7 @@ impl System {
         let sanitizer = self.llc.sanitizer_report();
         let check = self.checker.is_some().then(|| self.flush_and_verify());
 
-        MixResult {
+        Ok(RunOutcome::Finished(Box::new(MixResult {
             cores,
             llc,
             dram,
@@ -266,7 +488,7 @@ impl System {
             check,
             sanitizer,
             records_processed,
-        }
+        })))
     }
 
     /// Flushes the whole hierarchy and verifies the shadow memory.
@@ -280,6 +502,40 @@ impl System {
             .flush_dirty(now, &mut self.dram, self.checker.as_mut());
         self.dram.flush(now);
         self.checker.as_ref().expect("checker enabled").verify()
+    }
+}
+
+impl dbi::snap::Snapshot for System {
+    fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
+        // `config` is what *constructed* this system; a restore target is
+        // always built from the same config, so only mutable state goes in.
+        w.usize(self.cores.len());
+        for c in &self.cores {
+            c.snapshot(w);
+        }
+        self.llc.snapshot(w);
+        self.dram.snapshot(w);
+        match &self.checker {
+            Some(c) => {
+                w.bool(true);
+                c.snapshot(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        r.expect_len("system cores", self.cores.len())?;
+        for c in &mut self.cores {
+            c.restore(r)?;
+        }
+        self.llc.restore(r)?;
+        self.dram.restore(r)?;
+        r.expect_bool("checker presence", self.checker.is_some())?;
+        if let Some(c) = &mut self.checker {
+            c.restore(r)?;
+        }
+        Ok(())
     }
 }
 

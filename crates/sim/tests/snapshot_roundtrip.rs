@@ -1,0 +1,154 @@
+//! Checkpoint/restore correctness: resuming a run from a mid-flight
+//! snapshot must be *bit-identical* to never having stopped, for every
+//! mechanism, with the shadow-memory checker and invariant sanitizer both
+//! enabled (their state rides in the snapshot too).
+
+use proptest::prelude::*;
+use system_sim::{Mechanism, RunOutcome, System, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn mechanism_strategy() -> impl Strategy<Value = Mechanism> {
+    prop::sample::select(Mechanism::ALL.to_vec())
+}
+
+fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+fn tiny_config(cores: usize, mechanism: Mechanism, seed: u64) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(cores, mechanism);
+    c.llc_bytes_per_core = 256 * 1024;
+    c.llc_ways = 16;
+    c.warmup_insts = 40_000;
+    c.measure_insts = 40_000;
+    c.predictor_epoch_cycles = 50_000;
+    c.seed = seed;
+    c.check = true;
+    c.sanitize = true;
+    c
+}
+
+/// Runs to completion, suspending at the first checkpoint after each
+/// resume — i.e. the run is "killed" every `every` records and restarted
+/// from its last snapshot until it finishes.
+fn run_with_crashes(mix: &WorkloadMix, config: &SystemConfig, every: u64) -> (String, u32) {
+    let mut resume: Option<Vec<u8>> = None;
+    let mut crashes = 0u32;
+    loop {
+        let mut saved: Option<Vec<u8>> = None;
+        let outcome = System::new(mix, config)
+            .run_resumable(resume.as_deref(), every, &mut |bytes| {
+                saved = Some(bytes.to_vec());
+                false
+            })
+            .expect("valid snapshot bytes");
+        match outcome {
+            RunOutcome::Finished(result) => return (result.digest(), crashes),
+            RunOutcome::Suspended => {
+                crashes += 1;
+                resume = Some(saved.expect("suspension implies a checkpoint"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One suspension at a random point (warmup or measurement phase,
+    /// depending on `every`), then resume into a *fresh* system: the final
+    /// results match a straight-through run field for field.
+    #[test]
+    fn resume_is_bit_identical(
+        mechanism in mechanism_strategy(),
+        benchmark in benchmark_strategy(),
+        seed in 0u64..500,
+        every in 200u64..4_000,
+    ) {
+        let config = tiny_config(1, mechanism, seed);
+        let mix = WorkloadMix::new(vec![benchmark]);
+        let straight = System::new(&mix, &config).run().digest();
+
+        let mut saved: Option<Vec<u8>> = None;
+        let outcome = System::new(&mix, &config)
+            .run_resumable(None, every, &mut |bytes| {
+                saved = Some(bytes.to_vec());
+                false
+            })
+            .expect("cold start cannot fail to decode");
+        let resumed = match outcome {
+            // `every` exceeded the run length — nothing to resume.
+            RunOutcome::Finished(result) => result.digest(),
+            RunOutcome::Suspended => {
+                let bytes = saved.expect("suspension implies a checkpoint");
+                match System::new(&mix, &config)
+                    .run_resumable(Some(&bytes), 0, &mut |_| true)
+                    .expect("snapshot round-trips")
+                {
+                    RunOutcome::Finished(result) => result.digest(),
+                    RunOutcome::Suspended => unreachable!("always-true sink"),
+                }
+            }
+        };
+        prop_assert_eq!(straight, resumed);
+    }
+}
+
+#[test]
+fn repeated_crashes_still_match_straight_through() {
+    let mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    };
+    let config = tiny_config(2, mechanism, 7);
+    let mix = WorkloadMix::new(vec![Benchmark::Lbm, Benchmark::Mcf]);
+    let straight = System::new(&mix, &config).run().digest();
+    let (digest, crashes) = run_with_crashes(&mix, &config, 600);
+    assert_eq!(straight, digest);
+    assert!(crashes > 3, "only {crashes} crashes — loop not exercised");
+}
+
+#[test]
+fn corrupt_snapshot_is_rejected() {
+    let config = tiny_config(1, Mechanism::Baseline, 3);
+    let mix = WorkloadMix::new(vec![Benchmark::Libquantum]);
+    let mut saved: Option<Vec<u8>> = None;
+    let outcome = System::new(&mix, &config)
+        .run_resumable(None, 500, &mut |bytes| {
+            saved = Some(bytes.to_vec());
+            false
+        })
+        .unwrap();
+    assert!(matches!(outcome, RunOutcome::Suspended));
+    let mut bytes = saved.unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let err = System::new(&mix, &config).run_resumable(Some(&bytes), 0, &mut |_| true);
+    assert!(err.is_err(), "bit-flipped snapshot must not restore");
+}
+
+#[test]
+fn snapshot_from_a_different_mechanism_is_rejected() {
+    let mix = WorkloadMix::new(vec![Benchmark::Libquantum]);
+    let dbi_config = tiny_config(
+        1,
+        Mechanism::Dbi {
+            awb: false,
+            clb: false,
+        },
+        3,
+    );
+    let mut saved: Option<Vec<u8>> = None;
+    let outcome = System::new(&mix, &dbi_config)
+        .run_resumable(None, 500, &mut |bytes| {
+            saved = Some(bytes.to_vec());
+            false
+        })
+        .unwrap();
+    assert!(matches!(outcome, RunOutcome::Suspended));
+    let baseline_config = tiny_config(1, Mechanism::Baseline, 3);
+    let err =
+        System::new(&mix, &baseline_config).run_resumable(Some(&saved.unwrap()), 0, &mut |_| true);
+    assert!(err.is_err(), "mechanism mismatch must not restore");
+}
