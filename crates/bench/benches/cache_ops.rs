@@ -34,7 +34,7 @@ fn bench_access_path(c: &mut Criterion) {
             black_box(cache.insert(black_box(b), 0, InsertPos::Mru, b.is_multiple_of(3)))
         });
     });
-    group.bench_function("lru_rank", |bencher| {
+    group.bench_function("dirty_probe_rank", |bencher| {
         let mut cache = llc();
         for b in 0..32 * 1024u64 {
             cache.insert(b, 0, InsertPos::Mru, false);
@@ -42,7 +42,19 @@ fn bench_access_path(c: &mut Criterion) {
         let mut b = 0u64;
         bencher.iter(|| {
             b = (b + 31) % (32 * 1024);
-            black_box(cache.lru_rank(black_box(b)))
+            black_box(cache.dirty().probe(black_box(b)).map(|p| p.rank))
+        });
+    });
+    group.bench_function("dirty_in_lru_ways", |bencher| {
+        let mut cache = llc();
+        for b in 0..32 * 1024u64 {
+            cache.insert(b, 0, InsertPos::Mru, b % 5 == 0);
+        }
+        let mut b = 0u64;
+        bencher.iter(|| {
+            b = (b + 31) % (32 * 1024);
+            let set = cache.set_of(black_box(b));
+            black_box(cache.dirty().in_lru_ways(set, 4))
         });
     });
     group.finish();

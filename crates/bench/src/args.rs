@@ -40,6 +40,10 @@ Common options for every dbi-bench experiment binary:
     --watchdog SECS   per-unit wall-clock limit: a unit exceeding it is
                       retried once, then quarantined (default 600,
                       0 disables the watchdog)
+    --checkpoint-secs SECS
+                      target wall-clock time between checkpoints of each
+                      in-flight unit (default 5; fractions allowed,
+                      0 disables checkpointing)
     --shard I/N       simulate only shard I of N (1-based); units owned by
                       other shards are served from the store when already
                       present, taken over when their lease has gone stale,
@@ -72,6 +76,10 @@ pub struct BenchArgs {
     pub fault_seed: u64,
     /// Per-unit wall-clock limit in seconds; 0 disables (`--watchdog`).
     pub watchdog_secs: u64,
+    /// Target wall-clock time between checkpoints (`--checkpoint-secs`).
+    /// `None` = the runner's default cadence; `Some(0)` disables
+    /// checkpointing.
+    pub checkpoint_target: Option<std::time::Duration>,
     /// Shard assignment `(i, n)` with `1 <= i <= n` (`--shard I/N`).
     pub shard: Option<(u32, u32)>,
     /// Print the work list instead of simulating (`--list-units`).
@@ -91,6 +99,7 @@ impl Default for BenchArgs {
             fault: None,
             fault_seed: 1,
             watchdog_secs: 600,
+            checkpoint_target: None,
             shard: None,
             list_units: false,
         }
@@ -186,6 +195,17 @@ impl BenchArgs {
                     args.watchdog_secs = v
                         .parse()
                         .map_err(|_| format!("--watchdog needs a number of seconds, got '{v}'"))?;
+                }
+                "--checkpoint-secs" => {
+                    let v = value("--checkpoint-secs")?;
+                    let secs: f64 = v
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                        .ok_or_else(|| {
+                            format!("--checkpoint-secs needs a non-negative number, got '{v}'")
+                        })?;
+                    args.checkpoint_target = Some(std::time::Duration::from_secs_f64(secs));
                 }
                 "--shard" => {
                     let v = value("--shard")?;
@@ -351,6 +371,23 @@ mod tests {
         let (args, _) = BenchArgs::try_parse(&argv(&["--watchdog", "0"]), &[]).unwrap();
         assert_eq!(args.watchdog(), None);
         assert!(BenchArgs::try_parse(&argv(&["--watchdog", "soon"]), &[]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_secs_flag_parses() {
+        use std::time::Duration;
+        let (args, _) = BenchArgs::try_parse(&[], &[]).unwrap();
+        assert_eq!(args.checkpoint_target, None, "None = runner default");
+        let (args, _) = BenchArgs::try_parse(&argv(&["--checkpoint-secs", "2.5"]), &[]).unwrap();
+        assert_eq!(args.checkpoint_target, Some(Duration::from_secs_f64(2.5)));
+        let (args, _) = BenchArgs::try_parse(&argv(&["--checkpoint-secs", "0"]), &[]).unwrap();
+        assert_eq!(args.checkpoint_target, Some(Duration::ZERO));
+        for bad in ["-1", "fast", "inf", "NaN"] {
+            assert!(
+                BenchArgs::try_parse(&argv(&["--checkpoint-secs", bad]), &[]).is_err(),
+                "'{bad}' should be rejected"
+            );
+        }
     }
 
     #[test]

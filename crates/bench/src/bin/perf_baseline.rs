@@ -9,7 +9,10 @@
 //! docs/architecture.md, "Performance baseline workflow").
 //!
 //! Pass `--full` for the longer default measurement window; `--out PATH`
-//! overrides the output location.
+//! overrides the output location. `--max-vwq-ratio R` turns the VWQ
+//! hot-path regression gate on: the binary exits nonzero when the
+//! quad-core VWQ wall time exceeds `R` times the median mechanism wall
+//! time (CI pins this at 1.25).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,8 +140,22 @@ fn json_for(name: &str, cores: usize, benchmarks: &[Benchmark], runs: &[Measurem
     out
 }
 
+/// Quad-core VWQ wall time over the median mechanism wall time — the
+/// metric the word-level dirty/rank index exists to hold down. VWQ's
+/// per-writeback SSV refreshes made it the slowest mechanism by far
+/// (~1.8× the median) when each refresh rank-scanned the set.
+fn vwq_wall_ratio(runs: &[Measurement]) -> f64 {
+    let vwq = runs
+        .iter()
+        .find(|m| m.mechanism == Mechanism::Vwq.label())
+        .expect("MECHANISMS includes VWQ");
+    let mut walls: Vec<f64> = runs.iter().map(|m| m.wall_seconds).collect();
+    walls.sort_by(f64::total_cmp);
+    vwq.wall_seconds / walls[walls.len() / 2]
+}
+
 fn main() {
-    let (args, extras) = BenchArgs::parse_with(&["--out"]);
+    let (args, extras) = BenchArgs::parse_with(&["--out", "--max-vwq-ratio"]);
     // This binary measures raw hot-path throughput, so its historical
     // default is the short `--quick` window; `--full` selects the longer
     // one. It never uses the result store — every run must simulate.
@@ -151,6 +168,16 @@ fn main() {
         || dbi_bench::workspace_root().join("BENCH_hotpath.json"),
         |(_, value)| std::path::PathBuf::from(value),
     );
+    let max_vwq_ratio: Option<f64> = extras
+        .iter()
+        .find(|(flag, _)| flag == "--max-vwq-ratio")
+        .map(|(_, value)| match value.parse::<f64>() {
+            Ok(r) if r.is_finite() && r > 0.0 => r,
+            _ => {
+                eprintln!("error: --max-vwq-ratio needs a positive number, got {value:?}");
+                std::process::exit(2);
+            }
+        });
 
     if cfg!(debug_assertions) {
         eprintln!(
@@ -168,6 +195,7 @@ fn main() {
 
     let mut sections = Vec::new();
     let mut headline = 0.0f64;
+    let mut vwq_ratio = 0.0f64;
     for (name, cores, mix) in [
         ("single_core_lbm", 1usize, &single),
         ("quad_core_mix", 4usize, &quad),
@@ -191,17 +219,19 @@ fn main() {
             let records: u64 = runs.iter().map(|m| m.records).sum();
             let wall: f64 = runs.iter().map(|m| m.wall_seconds).sum();
             headline = records as f64 / wall;
+            vwq_ratio = vwq_wall_ratio(&runs);
         }
         sections.push(json_for(name, cores, mix.benchmarks(), &runs));
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"dbi-hotpath-perf/v1\",\n  \"effort\": \"{}\",\n  \"build\": \"{}\",\n  \"warmup_insts_per_core\": {},\n  \"measure_insts_per_core\": {},\n  \"headline_quad_core_records_per_sec\": {:.0},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dbi-hotpath-perf/v1\",\n  \"effort\": \"{}\",\n  \"build\": \"{}\",\n  \"warmup_insts_per_core\": {},\n  \"measure_insts_per_core\": {},\n  \"headline_quad_core_records_per_sec\": {:.0},\n  \"quad_core_vwq_wall_ratio\": {:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if effort == Effort::Full { "full" } else { "quick" },
         if cfg!(debug_assertions) { "debug" } else { "release" },
         effort.warmup_insts(),
         effort.measure_insts(),
         headline,
+        vwq_ratio,
         sections.join(",\n"),
     );
 
@@ -213,4 +243,15 @@ fn main() {
         }
     }
     println!("headline_quad_core_records_per_sec {headline:.0}");
+    println!("quad_core_vwq_wall_ratio {vwq_ratio:.3}");
+    if let Some(max) = max_vwq_ratio {
+        if vwq_ratio > max {
+            eprintln!(
+                "error: quad-core VWQ wall ratio {vwq_ratio:.3} exceeds the --max-vwq-ratio \
+                 gate of {max:.3} — the SSV refresh path has regressed"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("vwq ratio gate: {vwq_ratio:.3} <= {max:.3}, OK");
+    }
 }

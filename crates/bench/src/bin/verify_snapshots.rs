@@ -13,7 +13,7 @@
 //! campaigns rely on: a `kill -9` mid-campaign costs wall-clock time, not
 //! correctness.
 
-use system_sim::{Mechanism, RunOutcome, System, SystemConfig};
+use system_sim::{CheckpointCadence, Mechanism, RunOutcome, System, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
@@ -43,10 +43,14 @@ fn run_with_crashes(mix: &WorkloadMix, config: &SystemConfig) -> (String, u32) {
     loop {
         let mut saved: Option<Vec<u8>> = None;
         let outcome = System::new(mix, config)
-            .run_resumable(resume.as_deref(), CHECKPOINT_EVERY, &mut |bytes| {
-                saved = Some(bytes.to_vec());
-                false
-            })
+            .run_resumable(
+                resume.as_deref(),
+                CheckpointCadence::EveryRecords(CHECKPOINT_EVERY),
+                &mut |bytes| {
+                    saved = Some(bytes.to_vec());
+                    false
+                },
+            )
             .expect("snapshot written by this process must restore");
         match outcome {
             RunOutcome::Finished(result) => return (result.digest(), crashes),

@@ -35,10 +35,15 @@
 //!
 //! Units are also resumable *within* themselves: while a unit simulates,
 //! the runner writes a deterministic snapshot of the complete system
-//! state to `<key>.ckpt` in the store directory every
-//! [`Runner::with_checkpoint_every`] trace records. A killed process
-//! (`kill -9` included) therefore loses at most one checkpoint interval
-//! per in-flight unit — the rerun restores each snapshot and continues,
+//! state to `<key>.ckpt` in the store directory on an *adaptive
+//! wall-clock cadence* — by default every
+//! [`DEFAULT_CHECKPOINT_TARGET`] of elapsed time per unit (override with
+//! `--checkpoint-secs`, or pin a record-based cadence with
+//! [`Runner::with_checkpoint_every`]). Measuring the interval per unit in
+//! wall time rather than records bounds loss evenly across mechanisms of
+//! very different speeds. A killed process (`kill -9` included) therefore
+//! loses at most one checkpoint interval per in-flight unit — the rerun
+//! restores each snapshot and continues,
 //! and the sim crate's round-trip tests prove the resumed result is
 //! bit-identical to a straight-through run. SIGINT/SIGTERM are handled
 //! gracefully: in-flight units suspend at their next checkpoint, queued
@@ -65,13 +70,24 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use system_sim::{
-    run_mix, CoreResult, FaultPlan, Mechanism, MixResult, RunOutcome, System, SystemConfig,
+    run_mix, CheckpointCadence, CoreResult, FaultPlan, Mechanism, MixResult, RunOutcome, System,
+    SystemConfig,
 };
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
 use crate::store::{unit_key, ResultStore, StoreKey};
 use crate::{listing, parallel_map_jobs, BenchArgs};
+
+/// Default wall-clock time between checkpoints of an in-flight unit
+/// (override per campaign with `--checkpoint-secs`).
+pub const DEFAULT_CHECKPOINT_TARGET: Duration = Duration::from_secs(5);
+
+/// Records between clock probes under the wall-clock cadence: cheap
+/// enough that the hot loop never notices the `Instant::now()` calls,
+/// frequent enough (milliseconds at realistic speeds) that the measured
+/// interval barely overshoots the target.
+const CHECKPOINT_PROBE_RECORDS: u64 = 8192;
 
 /// The last fatal signal received (SIGINT=2 / SIGTERM=15); 0 when none.
 static INTERRUPT_SIGNAL: AtomicI32 = AtomicI32::new(0);
@@ -237,7 +253,7 @@ struct CheckpointCtx {
     dir: PathBuf,
     key: StoreKey,
     owner: String,
-    every: u64,
+    cadence: CheckpointCadence,
     crash_after: Option<Arc<AtomicI64>>,
 }
 
@@ -255,7 +271,7 @@ enum SimRun {
 }
 
 /// Runs one unit, resuming from its checkpoint when a valid one exists
-/// and snapshotting every `ctx.every` records. Each checkpoint write also
+/// and snapshotting on `ctx.cadence`. Each checkpoint write also
 /// heartbeats the unit's lease. The checkpoint sink asks the simulator to
 /// suspend once the process has been interrupted — the snapshot just
 /// written is then the durable resume point. A checkpoint that fails its
@@ -295,7 +311,7 @@ fn run_checkpointed(
             }
             true
         };
-        match System::new(mix, config).run_resumable(resume.as_deref(), ctx.every, &mut sink) {
+        match System::new(mix, config).run_resumable(resume.as_deref(), ctx.cadence, &mut sink) {
             Ok(RunOutcome::Finished(result)) => return SimRun::Completed { result, resumed },
             Ok(RunOutcome::Suspended) => return SimRun::Suspended,
             Err(e) => {
@@ -368,8 +384,8 @@ pub struct Runner {
     watchdog: Option<Duration>,
     /// `--shard I/N`: simulate only the units hashing to shard I.
     shard: Option<(u32, u32)>,
-    /// Trace records between checkpoints; 0 disables checkpointing.
-    checkpoint_every: u64,
+    /// When in-flight units checkpoint (wall-clock by default).
+    checkpoint: CheckpointCadence,
     /// Base delay before a failed unit's single retry (jittered ×1–2).
     retry_backoff: Duration,
     /// Lease age beyond which a foreign unit's owner is presumed dead.
@@ -408,7 +424,17 @@ impl Runner {
             fault: args.fault_plan(),
             watchdog: args.watchdog(),
             shard: args.shard,
-            checkpoint_every: 250_000,
+            checkpoint: match args.checkpoint_target {
+                Some(t) if t.is_zero() => CheckpointCadence::Disabled,
+                Some(target) => CheckpointCadence::WallClock {
+                    target,
+                    probe_records: CHECKPOINT_PROBE_RECORDS,
+                },
+                None => CheckpointCadence::WallClock {
+                    target: DEFAULT_CHECKPOINT_TARGET,
+                    probe_records: CHECKPOINT_PROBE_RECORDS,
+                },
+            },
             retry_backoff: Duration::from_millis(250),
             lease_stale_after: Duration::from_secs(300),
             takeover_backoff: Duration::from_secs(2),
@@ -429,11 +455,15 @@ impl Runner {
         self
     }
 
-    /// Overrides the checkpoint interval in trace records (0 disables
-    /// checkpointing; tests use small intervals to force many snapshots).
+    /// Pins a deterministic record-based checkpoint interval instead of
+    /// the wall-clock default (0 disables checkpointing; tests use small
+    /// intervals to force many snapshots at reproducible step counts).
     #[must_use]
     pub fn with_checkpoint_every(mut self, every: u64) -> Runner {
-        self.checkpoint_every = every;
+        self.checkpoint = match every {
+            0 => CheckpointCadence::Disabled,
+            n => CheckpointCadence::EveryRecords(n),
+        };
         self
     }
 
@@ -580,13 +610,15 @@ impl Runner {
     ) -> Result<Option<MixResult>, UnitFault> {
         let t = Instant::now();
         let ckpt = match (&self.store, key) {
-            (Some(store), Some(key)) if self.checkpoint_every > 0 => Some(CheckpointCtx {
-                dir: store.dir().to_path_buf(),
-                key: key.clone(),
-                owner: self.owner.clone(),
-                every: self.checkpoint_every,
-                crash_after: self.crash_after.clone(),
-            }),
+            (Some(store), Some(key)) if self.checkpoint != CheckpointCadence::Disabled => {
+                Some(CheckpointCtx {
+                    dir: store.dir().to_path_buf(),
+                    key: key.clone(),
+                    owner: self.owner.clone(),
+                    cadence: self.checkpoint,
+                    crash_after: self.crash_after.clone(),
+                })
+            }
             _ => None,
         };
         let run = match self.watchdog {

@@ -36,7 +36,8 @@ pub mod predictor;
 pub mod ssv;
 
 pub use crate::cache::{
-    Cache, CacheConfig, CacheConfigError, CacheStats, InsertPos, ReplacementKind, Victim,
+    Cache, CacheConfig, CacheConfigError, CacheStats, DirtyView, InsertPos, ProbedLine,
+    ReplacementKind, SetIdx, Victim, WayIter, WayMask,
 };
 
 /// Index of a cache block in the physical address space (byte address

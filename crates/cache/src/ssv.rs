@@ -9,10 +9,11 @@
 //! lookups vs. DAWB's 1.95× — Section 6.1) because the bit is conservative
 //! and the sweep re-probes sets repeatedly.
 
-use crate::{BlockAddr, Cache};
+use crate::{BlockAddr, Cache, SetIdx};
 
 /// A one-bit-per-set summary: "does this set hold dirty blocks among its
-/// `tracked_ways` least-recently-used ways?"
+/// `tracked_ways` least-recently-used ways?" — stored as a packed `u64`
+/// bitmap, matching the word-level dirty index it is refreshed from.
 ///
 /// The vector is a *hint* maintained beside the cache; [`refresh`] recomputes
 /// a set's bit from the cache's ground truth, which is how the hardware's
@@ -21,7 +22,8 @@ use crate::{BlockAddr, Cache};
 /// [`refresh`]: SetStateVector::refresh
 #[derive(Debug, Clone)]
 pub struct SetStateVector {
-    bits: Vec<bool>,
+    words: Vec<u64>,
+    sets: u64,
     tracked_ways: usize,
 }
 
@@ -37,7 +39,8 @@ impl SetStateVector {
         assert!(sets > 0, "SSV needs at least one set");
         assert!(tracked_ways > 0, "SSV must track at least one way");
         SetStateVector {
-            bits: vec![false; sets as usize],
+            words: vec![0; sets.div_ceil(64) as usize],
+            sets,
             tracked_ways,
         }
     }
@@ -54,42 +57,54 @@ impl SetStateVector {
     ///
     /// Panics if `set` is out of range.
     #[must_use]
-    pub fn is_marked(&self, set: u64) -> bool {
-        self.bits[set as usize]
+    pub fn is_marked(&self, set: SetIdx) -> bool {
+        assert!(set.raw() < self.sets, "set {set} out of SSV range");
+        self.words[set.index() / 64] >> (set.index() % 64) & 1 == 1
     }
 
     /// Recomputes the bit for the set containing `probe` from the cache's
     /// current contents, returning the new value.
     pub fn refresh(&mut self, cache: &Cache, probe: BlockAddr) -> bool {
         let set = cache.set_of(probe);
-        // Existence is all the bit needs; the allocation-free query keeps
-        // this off the heap (it runs on every writeback and fill).
-        let marked = cache.has_dirty_in_lru_ways(probe, self.tracked_ways);
-        self.bits[set as usize] = marked;
+        // One word load in the clean-set common case; never the heap.
+        let marked = !cache.dirty().in_lru_ways(set, self.tracked_ways).is_empty();
+        let bit = 1u64 << (set.index() % 64);
+        if marked {
+            self.words[set.index() / 64] |= bit;
+        } else {
+            self.words[set.index() / 64] &= !bit;
+        }
         marked
     }
 
     /// Number of currently marked sets (for reporting).
     #[must_use]
     pub fn marked_count(&self) -> u64 {
-        self.bits.iter().filter(|&&b| b).count() as u64
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 }
 
 impl dbi::snap::Snapshot for SetStateVector {
     fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
         w.usize(self.tracked_ways);
-        w.usize(self.bits.len());
-        for &b in &self.bits {
-            w.bool(b);
-        }
+        w.u64(self.sets);
+        w.u64s(&self.words);
     }
 
     fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
         r.expect_len("SSV tracked ways", self.tracked_ways)?;
-        r.expect_len("SSV sets", self.bits.len())?;
-        for b in &mut self.bits {
-            *b = r.bool()?;
+        r.expect_u64("SSV sets", self.sets)?;
+        r.fill_u64s("SSV words", &mut self.words)?;
+        // Bits past the last set are unaddressable and must stay zero.
+        let tail_bits = (self.sets % 64) as u32;
+        if tail_bits != 0 {
+            let last = *self.words.last().expect("at least one word");
+            if last >> tail_bits != 0 {
+                return Err(SnapError::Corrupt(
+                    "SSV padding bits beyond the last set are set".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -109,7 +124,7 @@ mod tests {
     fn starts_clear() {
         let ssv = SetStateVector::new(4, 1);
         for s in 0..4 {
-            assert!(!ssv.is_marked(s));
+            assert!(!ssv.is_marked(SetIdx(s)));
         }
         assert_eq!(ssv.marked_count(), 0);
     }
@@ -122,7 +137,7 @@ mod tests {
         c.insert(0, 0, InsertPos::Mru, true);
         c.insert(4, 0, InsertPos::Mru, false);
         assert!(ssv.refresh(&c, 0));
-        assert!(ssv.is_marked(0));
+        assert!(ssv.is_marked(SetIdx(0)));
         // Promote the dirty block to MRU: bit clears.
         c.touch(0);
         assert!(!ssv.refresh(&c, 0));
@@ -141,6 +156,37 @@ mod tests {
             !narrow.refresh(&c, 1),
             "dirty block at rank 1 invisible to a 1-way SSV"
         );
+    }
+
+    #[test]
+    fn marks_survive_a_snapshot_round_trip() {
+        let mut c = cache();
+        let mut ssv = SetStateVector::new(4, 2);
+        c.insert(0, 0, InsertPos::Mru, true);
+        c.insert(3, 0, InsertPos::Mru, true);
+        ssv.refresh(&c, 0);
+        ssv.refresh(&c, 3);
+        let bytes = dbi::snap::snapshot_bytes(&ssv);
+        let mut restored = SetStateVector::new(4, 2);
+        dbi::snap::restore_bytes(&mut restored, &bytes).unwrap();
+        for s in 0..4 {
+            assert_eq!(restored.is_marked(SetIdx(s)), ssv.is_marked(SetIdx(s)));
+        }
+        assert_eq!(restored.marked_count(), ssv.marked_count());
+    }
+
+    #[test]
+    fn restore_rejects_padding_bits() {
+        let mut w = dbi::snap::SnapWriter::new();
+        w.usize(2);
+        w.u64(4);
+        w.u64s(&[0b1_0000]); // bit 4 = set 4: past the last set
+        let bytes = w.finish();
+        let mut target = SetStateVector::new(4, 2);
+        assert!(matches!(
+            dbi::snap::restore_bytes(&mut target, &bytes),
+            Err(dbi::snap::SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property-based tests for the cache substrate: the set-associative cache
 //! must agree with a brute-force reference model of LRU semantics and dirty
-//! bookkeeping under arbitrary operation sequences.
+//! bookkeeping under arbitrary operation sequences, and the incrementally
+//! maintained word-level dirty/rank index must agree with a reference
+//! rank-scan of the tag array after every mutation.
 
 use std::collections::VecDeque;
 
-use cache_sim::{Cache, CacheConfig, InsertPos};
+use cache_sim::{Cache, CacheConfig, InsertPos, SetIdx};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -12,7 +14,7 @@ enum Op {
     Touch(u64),
     InsertMru(u64, bool),
     InsertLru(u64, bool),
-    SetDirty(u64, bool),
+    MarkDirty(u64, bool),
     Invalidate(u64),
 }
 
@@ -21,13 +23,35 @@ fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
         3 => (0..space).prop_map(Op::Touch),
         3 => (0..space, any::<bool>()).prop_map(|(b, d)| Op::InsertMru(b, d)),
         1 => (0..space, any::<bool>()).prop_map(|(b, d)| Op::InsertLru(b, d)),
-        1 => (0..space, any::<bool>()).prop_map(|(b, d)| Op::SetDirty(b, d)),
+        1 => (0..space, any::<bool>()).prop_map(|(b, d)| Op::MarkDirty(b, d)),
         1 => (0..space).prop_map(Op::Invalidate),
     ]
 }
 
+/// Applies `op` to `cache` without caring about the outcome (for tests that
+/// only need a well-exercised cache state).
+fn apply(cache: &mut Cache, op: &Op) {
+    match *op {
+        Op::Touch(b) => {
+            cache.touch(b);
+        }
+        Op::InsertMru(b, d) => {
+            cache.insert(b, 0, InsertPos::Mru, d);
+        }
+        Op::InsertLru(b, d) => {
+            cache.insert(b, 0, InsertPos::Lru, d);
+        }
+        Op::MarkDirty(b, d) => {
+            cache.mark_dirty(b, d);
+        }
+        Op::Invalidate(b) => {
+            cache.invalidate(b);
+        }
+    }
+}
+
 /// Brute-force reference: per-set recency queue (front = LRU) of
-/// `(block, dirty)` pairs.
+/// `(block, dirty)` pairs. A block's queue position *is* its recency rank.
 #[derive(Debug)]
 struct Reference {
     sets: Vec<VecDeque<(u64, bool)>>,
@@ -81,6 +105,27 @@ impl Reference {
         }
         victim
     }
+
+    /// The dirty blocks of `set` whose rank (queue position) is below `k`
+    /// — the reference answer to [`cache_sim::DirtyView::in_lru_ways`].
+    fn dirty_in_lru_ways(&self, set: usize, k: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sets[set]
+            .iter()
+            .take(k)
+            .filter(|&&(_, d)| d)
+            .map(|&(b, _)| b)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Resolves a cache's `in_lru_ways` mask to a sorted block list.
+fn harvest(cache: &Cache, set: SetIdx, k: usize) -> Vec<u64> {
+    let view = cache.dirty();
+    let mut v: Vec<u64> = view.blocks(set, view.in_lru_ways(set, k)).collect();
+    v.sort_unstable();
+    v
 }
 
 proptest! {
@@ -105,8 +150,8 @@ proptest! {
                     let want = reference.insert(b, d, mru);
                     prop_assert_eq!(got.map(|v| (v.block, v.dirty)), want);
                 }
-                Op::SetDirty(b, d) => {
-                    let found = cache.set_dirty(b, d);
+                Op::MarkDirty(b, d) => {
+                    let found = cache.mark_dirty(b, d);
                     let rfound = reference.find(b).is_some();
                     prop_assert_eq!(found, rfound);
                     if let Some((s, i)) = reference.find(b) {
@@ -136,6 +181,97 @@ proptest! {
         }
     }
 
+    /// The incremental dirty/rank index answers every rank-filtered dirty
+    /// query exactly like the reference model's rank scan, after every
+    /// single mutation — and never diverges from the tag array's own
+    /// metadata (checked by the built-in reference re-scan).
+    #[test]
+    fn lru_dirty_index_matches_reference_rank_scan(
+        ops in prop::collection::vec(op_strategy(96), 1..250),
+    ) {
+        // 4 sets x 4 ways keeps sets colliding often.
+        let mut cache = Cache::new(CacheConfig::new(4 * 4 * 64, 4, 64).unwrap());
+        let mut reference = Reference::new(4, 4);
+
+        for op in ops {
+            match op {
+                Op::Touch(b) => { reference.touch(b); }
+                Op::InsertMru(b, d) => { reference.insert(b, d, true); }
+                Op::InsertLru(b, d) => { reference.insert(b, d, false); }
+                Op::MarkDirty(b, d) => {
+                    if let Some((s, i)) = reference.find(b) {
+                        reference.sets[s][i].1 = d;
+                    }
+                }
+                Op::Invalidate(b) => {
+                    if let Some((s, i)) = reference.find(b) {
+                        reference.sets[s].remove(i);
+                    }
+                }
+            }
+            apply(&mut cache, &op);
+
+            cache.assert_index_coherent();
+            for set in 0..4usize {
+                for k in 0..=4usize {
+                    prop_assert_eq!(
+                        harvest(&cache, SetIdx(set as u64), k),
+                        reference.dirty_in_lru_ways(set, k),
+                        "set {} k {}", set, k
+                    );
+                }
+                // The full dirty mask is in_lru_ways at k = ways.
+                let view = cache.dirty();
+                prop_assert_eq!(
+                    view.mask(SetIdx(set as u64)),
+                    view.in_lru_ways(SetIdx(set as u64), 4)
+                );
+            }
+            for (b, d, _) in cache.blocks() {
+                prop_assert_eq!(cache.dirty().is_dirty(b), Some(d));
+                let p = cache.dirty().probe(b).expect("resident");
+                prop_assert_eq!(p.dirty, d);
+                let (s, i) = reference.find(b).expect("reference resident");
+                prop_assert_eq!(p.rank, i, "rank of block {} in set {}", b, s);
+            }
+        }
+    }
+
+    /// Under RRIP — where RRPVs tie and ranks are shared, not a
+    /// permutation — the incremental index still matches the reference
+    /// rank-scan of the tag metadata after every mutation, and the mask
+    /// query agrees with per-block probes.
+    #[test]
+    fn rrip_dirty_index_matches_reference_rank_scan(
+        ops in prop::collection::vec(op_strategy(96), 1..250),
+    ) {
+        use cache_sim::ReplacementKind;
+        let config = CacheConfig::new(4 * 4 * 64, 4, 64)
+            .unwrap()
+            .with_replacement(ReplacementKind::Rrip);
+        let mut cache = Cache::new(config);
+
+        for op in ops {
+            apply(&mut cache, &op);
+            cache.assert_index_coherent();
+            for set in 0..4u64 {
+                for k in 0..=4usize {
+                    let via_mask = harvest(&cache, SetIdx(set), k);
+                    let mut via_probe: Vec<u64> = cache
+                        .blocks()
+                        .filter(|&(b, d, _)| {
+                            d && cache.set_of(b) == SetIdx(set)
+                                && cache.dirty().probe(b).expect("resident").rank < k
+                        })
+                        .map(|(b, _, _)| b)
+                        .collect();
+                    via_probe.sort_unstable();
+                    prop_assert_eq!(via_mask, via_probe, "set {} k {}", set, k);
+                }
+            }
+        }
+    }
+
     /// Residency never exceeds capacity and probe() is consistent with
     /// touch() having inserted earlier.
     #[test]
@@ -150,7 +286,7 @@ proptest! {
         }
     }
 
-    /// lru_rank is a permutation of 0..n within each set.
+    /// Recency ranks are a permutation of 0..n within each LRU set.
     #[test]
     fn lru_ranks_form_permutation(
         blocks in prop::collection::vec(0u64..64, 1..100),
@@ -163,15 +299,54 @@ proptest! {
             let members: Vec<u64> = cache
                 .blocks()
                 .map(|(b, _, _)| b)
-                .filter(|&b| cache.set_of(b) == set)
+                .filter(|&b| cache.set_of(b) == SetIdx(set))
                 .collect();
             let mut ranks: Vec<usize> = members
                 .iter()
-                .map(|&b| cache.lru_rank(b).expect("resident"))
+                .map(|&b| cache.dirty().probe(b).expect("resident").rank)
                 .collect();
             ranks.sort_unstable();
             let expect: Vec<usize> = (0..members.len()).collect();
             prop_assert_eq!(ranks, expect);
+        }
+    }
+
+    /// A snapshot/restore round trip reconstructs the dirty/rank index
+    /// exactly: the restored cache answers every dirty-view query the same
+    /// as the original, under both replacement kinds.
+    #[test]
+    fn dirty_index_survives_snapshot_roundtrip(
+        ops in prop::collection::vec(op_strategy(96), 1..250),
+        rrip in any::<bool>(),
+    ) {
+        use cache_sim::ReplacementKind;
+        let config = CacheConfig::new(4 * 4 * 64, 4, 64).unwrap().with_replacement(
+            if rrip { ReplacementKind::Rrip } else { ReplacementKind::Lru },
+        );
+        let mut cache = Cache::new(config);
+        for op in &ops {
+            apply(&mut cache, op);
+        }
+
+        let bytes = dbi::snap::snapshot_bytes(&cache);
+        let mut restored = Cache::new(config);
+        dbi::snap::restore_bytes(&mut restored, &bytes).unwrap();
+
+        restored.assert_index_coherent();
+        for set in 0..4u64 {
+            for k in 0..=4usize {
+                prop_assert_eq!(
+                    harvest(&restored, SetIdx(set), k),
+                    harvest(&cache, SetIdx(set), k)
+                );
+            }
+            prop_assert_eq!(
+                restored.dirty().mask(SetIdx(set)),
+                cache.dirty().mask(SetIdx(set))
+            );
+        }
+        for (b, _, _) in cache.blocks() {
+            prop_assert_eq!(restored.dirty().probe(b), cache.dirty().probe(b));
         }
     }
 }

@@ -219,7 +219,7 @@ impl CoreEngine {
         mut checker: Option<&mut VersionChecker>,
     ) {
         if self.l1.touch(addr) {
-            self.l1.set_dirty(addr, true);
+            self.l1.mark_dirty(addr, true);
             return;
         }
         // Write-allocate: fetch the block (read-for-ownership) without
@@ -296,7 +296,7 @@ impl CoreEngine {
             return;
         }
         if self.l2.touch(block) {
-            self.l2.set_dirty(block, true);
+            self.l2.mark_dirty(block, true);
             return;
         }
         // Allocate the writeback in L2; its victim may cascade to the LLC.
@@ -366,7 +366,7 @@ impl CoreEngine {
             .map(|(b, _, _)| b)
             .collect();
         for b in l1_dirty {
-            self.l1.set_dirty(b, false);
+            self.l1.mark_dirty(b, false);
             self.l2_writeback(b, llc, dram, checker.as_deref_mut());
         }
         if let Some(dbi) = &mut self.l2_dbi {
@@ -384,7 +384,7 @@ impl CoreEngine {
             .map(|(b, _, _)| b)
             .collect();
         for b in l2_dirty {
-            self.l2.set_dirty(b, false);
+            self.l2.mark_dirty(b, false);
             llc.writeback(b, self.thread, self.cycle, dram, checker.as_deref_mut());
         }
     }

@@ -34,7 +34,7 @@
 use std::collections::HashSet;
 
 use cache_sim::ssv::SetStateVector;
-use cache_sim::Cache;
+use cache_sim::{Cache, SetIdx};
 use dbi::Dbi;
 
 use crate::faults::FaultRecord;
@@ -223,8 +223,8 @@ impl Sanitizer {
     /// `probe`; mirror what the refresh should have computed.
     pub fn mirror_ssv(&mut self, cache: &Cache, probe: u64, tracked_ways: usize) {
         if let Some(shadow) = &mut self.shadow_ssv {
-            let set = cache.set_of(probe) as usize;
-            shadow[set] = cache.has_dirty_in_lru_ways(probe, tracked_ways);
+            let set = cache.set_of(probe);
+            shadow[set.index()] = !cache.dirty().in_lru_ways(set, tracked_ways).is_empty();
         }
     }
 
@@ -286,7 +286,7 @@ impl Sanitizer {
             let diverged: Vec<u64> = shadow
                 .iter()
                 .enumerate()
-                .filter(|&(set, &bit)| ssv.is_marked(set as u64) != bit)
+                .filter(|&(set, &bit)| ssv.is_marked(SetIdx(set as u64)) != bit)
                 .map(|(set, _)| set as u64)
                 .collect();
             for set in diverged {
@@ -449,7 +449,7 @@ mod tests {
         s.note_dirtied(5);
         s.scan(&c, None, None);
         assert!(s.report(None).is_clean());
-        c.set_dirty(5, false);
+        c.mark_dirty(5, false);
         s.note_written_back(5);
         s.scan(&c, None, None);
         assert!(s.report(None).is_clean());

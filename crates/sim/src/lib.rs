@@ -49,4 +49,4 @@ pub use crate::faults::{FaultClass, FaultInjector, FaultPlan, FaultRecord};
 pub use crate::invariants::{InvariantKind, InvariantViolation, Sanitizer, SanitizerReport};
 pub use crate::llc::{LlcStats, ReadOutcome, SharedLlc};
 pub use crate::metrics::CoreResult;
-pub use crate::system::{run_alone, run_mix, MixResult, RunOutcome, System};
+pub use crate::system::{run_alone, run_mix, CheckpointCadence, MixResult, RunOutcome, System};

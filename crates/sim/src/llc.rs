@@ -261,7 +261,7 @@ impl SharedLlc {
     fn insert_pos(&mut self, block: u64, thread: ThreadId) -> InsertPos {
         match &self.dueling {
             None => InsertPos::Mru,
-            Some(d) => match d.choose(self.cache.set_of(block), thread) {
+            Some(d) => match d.choose(self.cache.set_of(block).raw(), thread) {
                 PolicyChoice::A => InsertPos::Mru,
                 PolicyChoice::B => self.bimodal.next_pos(),
             },
@@ -271,7 +271,10 @@ impl SharedLlc {
     fn ssv_refresh(&mut self, probe: u64) {
         if let Some(ssv) = &mut self.ssv {
             let set = self.cache.set_of(probe);
-            let stale = self.injector.as_mut().is_some_and(|i| i.ssv_stale(set));
+            let stale = self
+                .injector
+                .as_mut()
+                .is_some_and(|i| i.ssv_stale(set.raw()));
             if !stale {
                 ssv.refresh(&self.cache, probe);
             }
@@ -297,7 +300,7 @@ impl SharedLlc {
         if let Some(p) = &mut self.predictor {
             p.tick(now);
         }
-        let set = self.cache.set_of(block);
+        let set = self.cache.set_of(block).raw();
 
         // Cache Lookup Bypass (paper Section 3.2): predicted misses skip
         // the tag lookup. Skip Cache can bypass unconditionally (its LLC is
@@ -465,9 +468,9 @@ impl SharedLlc {
                 continue;
             }
             let t = self.occupy_tag_port_background(now);
-            if let Some((true, owner)) = self.cache.dirty_owner(b) {
-                self.cache.set_dirty(b, false);
-                self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+            if let Some(p) = self.cache.dirty().probe(b).filter(|p| p.dirty) {
+                self.cache.mark_dirty(b, false);
+                self.write_dram(b, p.owner, t, dram, checker.as_deref_mut());
                 self.stats.sweep_writebacks += 1;
             }
         }
@@ -498,10 +501,10 @@ impl SharedLlc {
                 continue; // SSV check is free; no tag probe
             }
             let t = self.occupy_tag_port_background(now);
-            if let Some((true, owner, rank)) = self.cache.probe_line(b) {
-                if rank < tracked {
-                    self.cache.set_dirty(b, false);
-                    self.write_dram(b, owner, t, dram, checker.as_deref_mut());
+            if let Some(p) = self.cache.dirty().probe(b).filter(|p| p.dirty) {
+                if p.rank < tracked {
+                    self.cache.mark_dirty(b, false);
+                    self.write_dram(b, p.owner, t, dram, checker.as_deref_mut());
                     self.stats.sweep_writebacks += 1;
                     self.ssv_refresh(b);
                 }
@@ -631,7 +634,7 @@ impl SharedLlc {
             }
             _ => {
                 if self.cache.touch(block) {
-                    self.cache.set_dirty(block, true);
+                    self.cache.mark_dirty(block, true);
                 } else {
                     self.fill(
                         block,
@@ -675,7 +678,7 @@ impl SharedLlc {
                 .map(|(b, _, _)| b)
                 .collect();
             for b in dirty {
-                self.cache.set_dirty(b, false);
+                self.cache.mark_dirty(b, false);
                 dram.enqueue_write(b, now);
                 if let Some(c) = checker.as_deref_mut() {
                     c.record_dram_write(b);
@@ -888,7 +891,7 @@ mod tests {
     fn baseline_writeback_sets_tag_dirty_and_evicts_to_dram() {
         let (mut llc, mut dram) = setup(Mechanism::Baseline);
         llc.writeback(7, 0, 0, &mut dram, None);
-        assert_eq!(llc.cache().is_dirty(7), Some(true));
+        assert_eq!(llc.cache().dirty().is_dirty(7), Some(true));
         // Fill the set (64 sets): blocks 7 + 64k for k=1..16 map to set 7.
         for k in 1..=16u64 {
             llc.writeback(7 + 64 * k, 0, 0, &mut dram, None);
@@ -906,7 +909,7 @@ mod tests {
         });
         llc.writeback(7, 0, 0, &mut dram, None);
         assert_eq!(
-            llc.cache().is_dirty(7),
+            llc.cache().dirty().is_dirty(7),
             Some(false),
             "dirty bit lives in the DBI"
         );

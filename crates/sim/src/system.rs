@@ -124,6 +124,33 @@ fn diff_llc(end: &LlcStats, start: &LlcStats) -> LlcStats {
     }
 }
 
+/// When a resumable run serializes its state and offers it to the sink.
+///
+/// Checkpoint *placement* may depend on wall-clock time, but checkpoint
+/// *content* never does: a snapshot taken at any step boundary restores
+/// bit-identically, so cadence only trades re-execution loss against
+/// serialization overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCadence {
+    /// Never checkpoint.
+    Disabled,
+    /// Checkpoint every `n` trace records (`n = 0` also disables) — the
+    /// deterministic cadence tests lean on.
+    EveryRecords(u64),
+    /// Checkpoint when at least `target` has elapsed since the last one,
+    /// probing the clock only every `probe_records` records so the hot
+    /// loop stays off `Instant::now()`. This bounds loss-on-kill per unit
+    /// *evenly across mechanisms of different speeds*: a slow mechanism
+    /// checkpoints at the same wall interval as a fast one instead of 5×
+    /// less often.
+    WallClock {
+        /// Minimum wall-clock time between checkpoints.
+        target: std::time::Duration,
+        /// Records between clock probes (`0` disables checkpointing).
+        probe_records: u64,
+    },
+}
+
 /// How a resumable run ended.
 #[derive(Debug)]
 pub enum RunOutcome {
@@ -323,7 +350,7 @@ impl System {
     /// the standard multi-programmed methodology.
     #[must_use]
     pub fn run(self) -> MixResult {
-        match self.run_resumable(None, 0, &mut |_| true) {
+        match self.run_resumable(None, CheckpointCadence::Disabled, &mut |_| true) {
             Ok(RunOutcome::Finished(result)) => *result,
             Ok(RunOutcome::Suspended) => unreachable!("the always-true sink never suspends"),
             Err(e) => unreachable!("a cold start restores nothing: {e}"),
@@ -339,28 +366,42 @@ impl System {
         w.finish()
     }
 
-    /// Offers a checkpoint to `sink` when one is due; false = suspend.
+    /// Offers a checkpoint to `sink` when the cadence says one is due;
+    /// false = suspend.
     fn checkpoint_due(
         &self,
         st: &RunState,
-        every: u64,
+        cadence: CheckpointCadence,
+        last: &mut std::time::Instant,
         sink: &mut dyn FnMut(&[u8]) -> bool,
     ) -> bool {
-        if every == 0 || !st.steps.is_multiple_of(every) {
+        let due = match cadence {
+            CheckpointCadence::Disabled => false,
+            CheckpointCadence::EveryRecords(every) => every != 0 && st.steps.is_multiple_of(every),
+            CheckpointCadence::WallClock {
+                target,
+                probe_records,
+            } => {
+                probe_records != 0
+                    && st.steps.is_multiple_of(probe_records)
+                    && last.elapsed() >= target
+            }
+        };
+        if !due {
             return true;
         }
+        *last = std::time::Instant::now();
         sink(&self.freeze(st))
     }
 
-    /// [`run`](System::run) with checkpoint/restore: the same loop, but
-    /// every `checkpoint_every` trace records the complete simulation state
-    /// is serialized and offered to `sink`. A `false` from the sink
-    /// suspends the run ([`RunOutcome::Suspended`]); resuming later from
-    /// the accepted bytes continues bit-identically — the step sequence,
+    /// [`run`](System::run) with checkpoint/restore: the same loop, but at
+    /// every point `cadence` declares due, the complete simulation state is
+    /// serialized and offered to `sink`. A `false` from the sink suspends
+    /// the run ([`RunOutcome::Suspended`]); resuming later from the
+    /// accepted bytes continues bit-identically — the step sequence,
     /// sanitizer scan points, and measurement boundaries all derive from
-    /// the serialized state, never from how many times the process ran.
-    ///
-    /// `checkpoint_every = 0` disables checkpointing entirely.
+    /// the serialized state, never from how many times the process ran or
+    /// *when* checkpoints happened to land.
     ///
     /// # Errors
     ///
@@ -375,9 +416,10 @@ impl System {
     pub fn run_resumable(
         mut self,
         resume: Option<&[u8]>,
-        checkpoint_every: u64,
+        cadence: CheckpointCadence,
         sink: &mut dyn FnMut(&[u8]) -> bool,
     ) -> Result<RunOutcome, dbi::snap::SnapError> {
+        let mut last_checkpoint = std::time::Instant::now();
         let warm = self.config.warmup_insts;
         let measure = self.config.measure_insts;
         assert!(measure > 0, "measurement window must be nonempty");
@@ -398,7 +440,7 @@ impl System {
         if !st.measuring {
             while self.cores.iter().any(|c| c.insts < warm) {
                 let _ = self.step_next(&mut st.steps);
-                if !self.checkpoint_due(&st, checkpoint_every, sink) {
+                if !self.checkpoint_due(&st, cadence, &mut last_checkpoint, sink) {
                     return Ok(RunOutcome::Suspended);
                 }
             }
@@ -441,7 +483,7 @@ impl System {
                 ));
                 done += 1;
             }
-            if !self.checkpoint_due(&st, checkpoint_every, sink) {
+            if !self.checkpoint_due(&st, cadence, &mut last_checkpoint, sink) {
                 return Ok(RunOutcome::Suspended);
             }
         }

@@ -4,7 +4,7 @@
 //! enabled (their state rides in the snapshot too).
 
 use proptest::prelude::*;
-use system_sim::{Mechanism, RunOutcome, System, SystemConfig};
+use system_sim::{CheckpointCadence, Mechanism, RunOutcome, System, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
@@ -38,10 +38,14 @@ fn run_with_crashes(mix: &WorkloadMix, config: &SystemConfig, every: u64) -> (St
     loop {
         let mut saved: Option<Vec<u8>> = None;
         let outcome = System::new(mix, config)
-            .run_resumable(resume.as_deref(), every, &mut |bytes| {
-                saved = Some(bytes.to_vec());
-                false
-            })
+            .run_resumable(
+                resume.as_deref(),
+                CheckpointCadence::EveryRecords(every),
+                &mut |bytes| {
+                    saved = Some(bytes.to_vec());
+                    false
+                },
+            )
             .expect("valid snapshot bytes");
         match outcome {
             RunOutcome::Finished(result) => return (result.digest(), crashes),
@@ -72,7 +76,7 @@ proptest! {
 
         let mut saved: Option<Vec<u8>> = None;
         let outcome = System::new(&mix, &config)
-            .run_resumable(None, every, &mut |bytes| {
+            .run_resumable(None, CheckpointCadence::EveryRecords(every), &mut |bytes| {
                 saved = Some(bytes.to_vec());
                 false
             })
@@ -83,7 +87,7 @@ proptest! {
             RunOutcome::Suspended => {
                 let bytes = saved.expect("suspension implies a checkpoint");
                 match System::new(&mix, &config)
-                    .run_resumable(Some(&bytes), 0, &mut |_| true)
+                    .run_resumable(Some(&bytes), CheckpointCadence::Disabled, &mut |_| true)
                     .expect("snapshot round-trips")
                 {
                     RunOutcome::Finished(result) => result.digest(),
@@ -109,13 +113,52 @@ fn repeated_crashes_still_match_straight_through() {
     assert!(crashes > 3, "only {crashes} crashes — loop not exercised");
 }
 
+/// The wall-clock cadence places checkpoints nondeterministically, but
+/// their *content* is a deterministic function of the step count — so a
+/// resume from wherever one landed is still bit-identical to a
+/// straight-through run.
+#[test]
+fn wall_clock_cadence_resume_is_bit_identical() {
+    let config = tiny_config(1, Mechanism::Vwq, 11);
+    let mix = WorkloadMix::new(vec![Benchmark::Stream]);
+    let straight = System::new(&mix, &config).run().digest();
+
+    // A zero target makes a checkpoint due at every probe boundary, so
+    // the suspension point is reached immediately regardless of machine
+    // speed; the probe stride still exercises the wall-clock path.
+    let cadence = CheckpointCadence::WallClock {
+        target: std::time::Duration::ZERO,
+        probe_records: 700,
+    };
+    let mut saved: Option<Vec<u8>> = None;
+    let outcome = System::new(&mix, &config)
+        .run_resumable(None, cadence, &mut |bytes| {
+            saved = Some(bytes.to_vec());
+            false
+        })
+        .unwrap();
+    assert!(matches!(outcome, RunOutcome::Suspended));
+    let resumed = match System::new(&mix, &config)
+        .run_resumable(
+            Some(&saved.unwrap()),
+            CheckpointCadence::Disabled,
+            &mut |_| true,
+        )
+        .expect("snapshot round-trips")
+    {
+        RunOutcome::Finished(result) => result.digest(),
+        RunOutcome::Suspended => unreachable!("always-true sink"),
+    };
+    assert_eq!(straight, resumed);
+}
+
 #[test]
 fn corrupt_snapshot_is_rejected() {
     let config = tiny_config(1, Mechanism::Baseline, 3);
     let mix = WorkloadMix::new(vec![Benchmark::Libquantum]);
     let mut saved: Option<Vec<u8>> = None;
     let outcome = System::new(&mix, &config)
-        .run_resumable(None, 500, &mut |bytes| {
+        .run_resumable(None, CheckpointCadence::EveryRecords(500), &mut |bytes| {
             saved = Some(bytes.to_vec());
             false
         })
@@ -124,7 +167,11 @@ fn corrupt_snapshot_is_rejected() {
     let mut bytes = saved.unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    let err = System::new(&mix, &config).run_resumable(Some(&bytes), 0, &mut |_| true);
+    let err = System::new(&mix, &config).run_resumable(
+        Some(&bytes),
+        CheckpointCadence::Disabled,
+        &mut |_| true,
+    );
     assert!(err.is_err(), "bit-flipped snapshot must not restore");
 }
 
@@ -141,14 +188,17 @@ fn snapshot_from_a_different_mechanism_is_rejected() {
     );
     let mut saved: Option<Vec<u8>> = None;
     let outcome = System::new(&mix, &dbi_config)
-        .run_resumable(None, 500, &mut |bytes| {
+        .run_resumable(None, CheckpointCadence::EveryRecords(500), &mut |bytes| {
             saved = Some(bytes.to_vec());
             false
         })
         .unwrap();
     assert!(matches!(outcome, RunOutcome::Suspended));
     let baseline_config = tiny_config(1, Mechanism::Baseline, 3);
-    let err =
-        System::new(&mix, &baseline_config).run_resumable(Some(&saved.unwrap()), 0, &mut |_| true);
+    let err = System::new(&mix, &baseline_config).run_resumable(
+        Some(&saved.unwrap()),
+        CheckpointCadence::Disabled,
+        &mut |_| true,
+    );
     assert!(err.is_err(), "mechanism mismatch must not restore");
 }
