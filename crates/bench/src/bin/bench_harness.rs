@@ -22,7 +22,7 @@ use dbi_bench::{BenchArgs, Effort};
 /// The `run_all.sh` list (everything except `simulate`, which is an
 /// interactive tool, and `perf_baseline`/`bench_harness`, which measure
 /// rather than reproduce).
-const SUITE: [&str; 17] = [
+const SUITE: [&str; 18] = [
     "fig6_single_core",
     "fig7_multicore",
     "fig8_scurve",
@@ -39,6 +39,7 @@ const SUITE: [&str; 17] = [
     "ablation_drain_policy",
     "ablation_l2_dbi",
     "ablation_channels",
+    "ablation_bankgroups",
     "workload_report",
 ];
 

@@ -30,7 +30,7 @@ use trace_gen::Benchmark;
 /// v3: every entry carries a trailing FNV-1a checksum line, so corruption
 /// is detected byte-for-byte instead of only when a field fails to parse
 /// (a flipped digit inside a counter parses fine under v2).
-pub const STORE_SCHEMA_VERSION: u32 = 3;
+pub const STORE_SCHEMA_VERSION: u32 = 4;
 
 const ENTRY_MAGIC: &str = "dbi-bench-result";
 
@@ -118,6 +118,7 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
         mapping,
         write_buffer_capacity,
         channels,
+        bank_groups,
         drain_policy,
         refresh,
         energy,
@@ -129,13 +130,15 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
         t_burst,
         t_wr,
         t_wtr,
-        t_rrd,
+        t_rrd_s,
+        t_rrd_l,
         t_faw,
     } = timing;
     let dram_sim::EnergyModel {
         activate_pj,
         read_burst_pj,
         write_burst_pj,
+        forward_burst_pj,
         background_pj_per_cycle,
     } = energy;
     let drain = match drain_policy {
@@ -154,9 +157,10 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
          l2_b={l2_bytes} l2_w={l2_ways} blk={block_bytes} \
          lat={l1}:{l2}:{llc_tag}:{llc_data}:{dbi_lat}:{llc_tag_occupancy} \
          dbi={}/{}:{granularity}:{associativity}:{} \
-         dram_t={t_rcd}:{t_rp}:{t_cl}:{t_burst}:{t_wr}:{t_wtr}:{t_rrd}:{t_faw} \
-         dram_map={}:{} wbuf={write_buffer_capacity} chan={channels} drain={drain} \
-         refresh={refresh} energy={}:{}:{}:{} window={window_insts} mshrs={mshrs} \
+         dram_t={t_rcd}:{t_rp}:{t_cl}:{t_burst}:{t_wr}:{t_wtr}:{t_rrd_s}:{t_rrd_l}:{t_faw} \
+         dram_map={}:{} wbuf={write_buffer_capacity} chan={channels} groups={bank_groups} \
+         drain={drain} refresh={refresh} energy={}:{}:{}:{}:{} window={window_insts} \
+         mshrs={mshrs} \
          pred={predictor_epoch_cycles}:{} awbf={awb_rewrite_filter} l2dbi={l2_dbi} \
          warmup={warmup_insts} measure={measure_insts} seed={seed} check={check} \
          sanitize={sanitize} sanint={sanitize_interval} fault={fault}",
@@ -169,6 +173,7 @@ pub fn unit_fingerprint(config: &SystemConfig, benchmarks: &[Benchmark]) -> Stri
         f64_bits(*activate_pj),
         f64_bits(*read_burst_pj),
         f64_bits(*write_burst_pj),
+        f64_bits(*forward_burst_pj),
         f64_bits(*background_pj_per_cycle),
         f64_bits(*predictor_threshold),
     )
@@ -409,10 +414,11 @@ fn serialize(key: &StoreKey, result: &MixResult) -> String {
     ));
     let e = &result.energy;
     out.push_str(&format!(
-        "energy {} {} {} {}\n",
+        "energy {} {} {} {} {}\n",
         f64_bits(e.activate_pj),
         f64_bits(e.read_pj),
         f64_bits(e.write_pj),
+        f64_bits(e.forward_pj),
         f64_bits(e.background_pj)
     ));
     match &result.dbi {
@@ -542,6 +548,7 @@ pub fn deserialize_any(text: &str) -> Option<(String, MixResult)> {
     energy.activate_pj = next_f64()?;
     energy.read_pj = next_f64()?;
     energy.write_pj = next_f64()?;
+    energy.forward_pj = next_f64()?;
     energy.background_pj = next_f64()?;
     let dbi_line = lines.next()?.strip_prefix("dbi ")?;
     let dbi = if dbi_line == "none" {

@@ -1,9 +1,10 @@
-//! The memory controller: channels, banks, write drains, statistics.
+//! The memory controller: channels, bank groups, write drains, statistics.
 
 use crate::energy::DramEnergy;
-use crate::timing::{DramTiming, REFRESH_T_REFI, REFRESH_T_RFC};
+use crate::mapping::AddressMapping;
+use crate::timing::{REFRESH_T_REFI, REFRESH_T_RFC};
 use crate::write_buffer::WriteBuffer;
-use crate::{BlockAddr, Cycle, DrainPolicy, DramConfig};
+use crate::{BlockAddr, Cycle, DrainPolicy, DramConfig, DramConfigError};
 
 /// Event counters for the [`MemoryController`], summed over channels.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -13,7 +14,8 @@ pub struct DramStats {
     pub reads: u64,
     /// Reads that hit an open row.
     pub read_row_hits: u64,
-    /// Reads forwarded from the write buffer (no DRAM access).
+    /// Reads forwarded from the write buffer (no DRAM commands, but the
+    /// forwarded burst still occupies the channel's data bus).
     pub buffer_forwards: u64,
     /// Writes serviced by drains.
     pub writes: u64,
@@ -64,6 +66,21 @@ impl DramStats {
     }
 }
 
+/// One recorded row activate, in issue order. Produced when tracing is
+/// enabled with [`MemoryController::trace_activates`]; the scheduling
+/// property tests use it to check tRRD_S/tRRD_L/tFAW compliance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivateEvent {
+    /// Cycle the activate command issued.
+    pub at: Cycle,
+    /// Channel it issued on.
+    pub channel: u32,
+    /// Bank group within the channel.
+    pub group: u32,
+    /// Bank within the channel.
+    pub bank: u32,
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u64>,
@@ -74,7 +91,14 @@ struct Bank {
     precharge_ready: Cycle,
 }
 
-/// Per-channel state: banks, data bus, write buffer, activate window.
+/// Activate bookkeeping for one bank group: issue times of its most
+/// recent activates, at most four (the tFAW window depth).
+#[derive(Debug, Clone, Default)]
+struct GroupWindow {
+    recent: std::collections::VecDeque<Cycle>,
+}
+
+/// Per-channel state: banks, data bus, write buffer, activate windows.
 #[derive(Debug, Clone)]
 struct Channel {
     banks: Vec<Bank>,
@@ -83,37 +107,23 @@ struct Channel {
     bus_free: Cycle,
     /// Whether the previous bus operation was a write (read turnaround).
     last_was_write: bool,
-    /// Issue times of the most recent activates (tRRD / tFAW throttling).
-    recent_activates: std::collections::VecDeque<Cycle>,
+    /// Issue time of the channel's most recent activate, regardless of
+    /// group (tRRD_S applies between any two activates on the channel).
+    last_activate: Option<Cycle>,
+    /// Per-bank-group activate windows (tRRD_L and tFAW are per group).
+    groups: Vec<GroupWindow>,
 }
 
 impl Channel {
-    fn new(banks: usize, write_buffer_capacity: usize) -> Self {
+    fn new(banks: usize, bank_groups: usize, write_buffer_capacity: usize) -> Self {
         Channel {
             banks: vec![Bank::default(); banks],
             write_buffer: WriteBuffer::new(write_buffer_capacity),
             bus_free: 0,
             last_was_write: false,
-            recent_activates: std::collections::VecDeque::with_capacity(4),
+            last_activate: None,
+            groups: vec![GroupWindow::default(); bank_groups],
         }
-    }
-
-    /// Earliest cycle a new activate may issue at or after `earliest`,
-    /// honouring tRRD (activate spacing) and tFAW (four-activate window);
-    /// records the activate.
-    fn schedule_activate(&mut self, earliest: Cycle, t: &DramTiming) -> Cycle {
-        let mut at = earliest;
-        if let Some(&last) = self.recent_activates.back() {
-            at = at.max(last + t.t_rrd);
-        }
-        if self.recent_activates.len() == 4 {
-            at = at.max(self.recent_activates[0] + t.t_faw);
-        }
-        self.recent_activates.push_back(at);
-        if self.recent_activates.len() > 4 {
-            self.recent_activates.pop_front();
-        }
-        at
     }
 }
 
@@ -121,20 +131,25 @@ impl Channel {
 #[derive(Debug, Clone, Copy)]
 struct Route {
     channel: usize,
+    group: usize,
     bank: usize,
     row: u64,
 }
 
-/// A DRAM controller with one or more channels, per-bank open-row and
-/// CAS-pipelining state, write-combining buffers drained per channel
-/// (drain-when-full or watermark), and FR-FCFS-style row grouping within
-/// each drain.
+/// A DRAM command scheduler with one or more channels, bank-group-aware
+/// activate throttling, per-bank open-row and CAS-pipelining state,
+/// write-combining buffers drained per channel (drain-when-full or
+/// watermark), and FR-FCFS row-batch arbitration within each drain.
 ///
-/// Completion times come from a resource-occupancy model: each bank, each
-/// channel's activate window, and each data bus track the next cycle they
-/// are free; commands to different banks overlap, and data bursts
-/// serialize per channel. This is the first-order contention the DBI's
-/// writeback optimizations act on.
+/// Completion times come from per-resource availability: each bank, each
+/// bank group's activate window, each channel's activate spacing, and each
+/// data bus track the next cycle they admit a command. Activates to banks
+/// of the *same* group must be `t_rrd_l` apart and at most four may issue
+/// per `t_faw` window; activates to *different* groups need only
+/// `t_rrd_s`. Because banks are numbered group-interleaved, a drain's
+/// round-robin over banks rotates bank groups, so consecutive row batches
+/// overlap at the short spacing — the contention the DBI's row-batched
+/// writebacks exploit.
 #[derive(Debug, Clone)]
 pub struct MemoryController {
     config: DramConfig,
@@ -145,6 +160,9 @@ pub struct MemoryController {
     /// Reusable drain working set, so the per-drain scheduling pass does
     /// not allocate.
     scratch: DrainScratch,
+    /// Activate log, populated only while tracing is enabled. Diagnostic
+    /// state, not architectural: excluded from snapshots.
+    trace: Option<Vec<ActivateEvent>>,
 }
 
 /// Reusable buffers for [`MemoryController::drain_writes`].
@@ -161,29 +179,46 @@ struct DrainScratch {
 }
 
 impl MemoryController {
-    /// Creates an idle controller.
+    /// Creates an idle controller, rejecting degenerate geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration requests zero channels.
-    #[must_use]
-    pub fn new(config: DramConfig) -> Self {
-        assert!(config.channels >= 1, "need at least one channel");
+    /// Returns the [`DramConfigError`] from [`DramConfig::validate`] —
+    /// zero channels/banks/groups would otherwise divide by zero deep
+    /// inside address routing.
+    pub fn try_new(config: DramConfig) -> Result<Self, DramConfigError> {
+        config.validate()?;
         let channels = (0..config.channels)
             .map(|_| {
                 Channel::new(
                     config.mapping.banks() as usize,
+                    config.bank_groups as usize,
                     config.write_buffer_capacity,
                 )
             })
             .collect();
-        MemoryController {
+        Ok(MemoryController {
             config,
             channels,
             stats: DramStats::default(),
             energy: DramEnergy::default(),
             last_accrual: 0,
             scratch: DrainScratch::default(),
+            trace: None,
+        })
+    }
+
+    /// Creates an idle controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`MemoryController::try_new`] to handle the error.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid DRAM configuration: {e}"),
         }
     }
 
@@ -193,16 +228,35 @@ impl MemoryController {
         &self.config
     }
 
+    /// Starts or stops recording activates into [`activate_trace`]
+    /// (clearing any previous log). Diagnostic only — tracing does not
+    /// alter scheduling and the log is excluded from snapshots.
+    ///
+    /// [`activate_trace`]: MemoryController::activate_trace
+    pub fn trace_activates(&mut self, on: bool) {
+        self.trace = on.then(Vec::new);
+    }
+
+    /// Activates recorded since tracing was enabled (empty when off).
+    #[must_use]
+    pub fn activate_trace(&self) -> &[ActivateEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
     /// Routes a block: DRAM rows stripe across channels, then across the
-    /// channel's banks (row interleaving, paper Table 1).
+    /// channel's banks (row interleaving, paper Table 1). Banks are
+    /// numbered group-interleaved, so the stripe also alternates bank
+    /// groups.
     fn route(&self, block: BlockAddr) -> Route {
         let n = self.channels.len() as u64;
         let global_row = self.config.mapping.global_row(block);
         let local_row = global_row / n;
         let banks = u64::from(self.config.mapping.banks());
+        let bank = (local_row % banks) as u32;
         Route {
             channel: (global_row % n) as usize,
-            bank: (local_row % banks) as usize,
+            group: AddressMapping::bank_group(bank, self.config.bank_groups) as usize,
+            bank: bank as usize,
             row: local_row / banks,
         }
     }
@@ -222,6 +276,51 @@ impl MemoryController {
         }
     }
 
+    /// Earliest cycle an activate to `(channel c, group, bank)` may issue
+    /// at or after `earliest`: any activate on the channel must trail the
+    /// previous one by tRRD_S, an activate in the same group by tRRD_L,
+    /// and at most four activates may fall in any tFAW window per
+    /// (channel, group). The chosen cycle is also pushed past refresh
+    /// blackouts, then recorded (windows, stats, energy, trace).
+    fn schedule_activate(&mut self, c: usize, group: usize, bank: usize, earliest: Cycle) -> Cycle {
+        let t = self.config.timing;
+        let mut at = earliest;
+        {
+            let ch = &self.channels[c];
+            if let Some(last) = ch.last_activate {
+                at = at.max(last + t.t_rrd_s);
+            }
+            let w = &ch.groups[group].recent;
+            if let Some(&back) = w.back() {
+                at = at.max(back + t.t_rrd_l);
+            }
+            if w.len() == 4 {
+                at = at.max(w[0] + t.t_faw);
+            }
+        }
+        let at = self.apply_refresh(at);
+        let ch = &mut self.channels[c];
+        // Spacing constraints make `at` strictly later than every prior
+        // activate, so it is the channel's new most-recent.
+        ch.last_activate = Some(at);
+        let w = &mut ch.groups[group].recent;
+        w.push_back(at);
+        if w.len() > 4 {
+            w.pop_front();
+        }
+        self.stats.activates += 1;
+        self.energy.activate_pj += self.config.energy.activate_pj;
+        if let Some(trace) = &mut self.trace {
+            trace.push(ActivateEvent {
+                at,
+                channel: c as u32,
+                group: group as u32,
+                bank: bank as u32,
+            });
+        }
+        at
+    }
+
     fn accrue_background(&mut self, now: Cycle) {
         if now > self.last_accrual {
             self.energy.background_pj +=
@@ -233,36 +332,53 @@ impl MemoryController {
     /// Services a demand read of `block` issued at `now`; returns the cycle
     /// the data is available.
     ///
-    /// Reads that hit a write buffer are forwarded without touching DRAM.
+    /// Reads that hit a write buffer are forwarded without any DRAM
+    /// command, but the forwarded data still crosses the channel: the
+    /// burst occupies the data bus and respects write-to-read turnaround
+    /// like any other read.
     pub fn read(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
         self.accrue_background(now);
         let route = self.route(block);
-        if self.channels[route.channel].write_buffer.contains(block) {
-            self.stats.buffer_forwards += 1;
-            return now + self.config.timing.t_burst;
-        }
         let t = self.config.timing;
+        if self.channels[route.channel].write_buffer.contains(block) {
+            let ch = &mut self.channels[route.channel];
+            let mut start = now.max(ch.bus_free);
+            if ch.last_was_write {
+                start = start.max(ch.bus_free + t.t_wtr);
+            }
+            let completion = start + t.t_burst;
+            ch.bus_free = completion;
+            ch.last_was_write = false;
+            self.stats.buffer_forwards += 1;
+            self.energy.forward_pj += self.config.energy.forward_burst_pj;
+            return completion;
+        }
         let bank_state = self.channels[route.channel].banks[route.bank];
         let mut start = self.apply_refresh(now.max(bank_state.cas_ready));
-        let ch = &mut self.channels[route.channel];
-        if ch.last_was_write {
-            // Write-to-read turnaround applies at the channel.
-            start = start.max(ch.bus_free + t.t_wtr);
+        {
+            let ch = &self.channels[route.channel];
+            if ch.last_was_write {
+                // Write-to-read turnaround applies at the channel.
+                start = start.max(ch.bus_free + t.t_wtr);
+            }
         }
         let hit = bank_state.open_row == Some(route.row);
         let cas_at = if hit {
             start
         } else {
             // Precharge (if a row is open) then activate, throttled by
-            // tRRD/tFAW and the bank\'s write recovery.
+            // tRRD_S/tRRD_L/tFAW and the bank's write recovery.
             let prep = if bank_state.open_row.is_some() {
                 t.t_rp
             } else {
                 0
             };
-            let act = ch.schedule_activate(start.max(bank_state.precharge_ready) + prep, &t);
-            self.stats.activates += 1;
-            self.energy.activate_pj += self.config.energy.activate_pj;
+            let act = self.schedule_activate(
+                route.channel,
+                route.group,
+                route.bank,
+                start.max(bank_state.precharge_ready) + prep,
+            );
             act + t.t_rcd
         };
         let ch = &mut self.channels[route.channel];
@@ -286,7 +402,7 @@ impl MemoryController {
     }
 
     /// Queues a writeback of `block` arriving at `now` on its channel. If
-    /// that channel\'s buffer reaches its drain point, the buffer drains and
+    /// that channel's buffer reaches its drain point, the buffer drains and
     /// the channel is occupied until the drain completes.
     pub fn enqueue_write(&mut self, block: BlockAddr, now: Cycle) {
         self.accrue_background(now);
@@ -333,8 +449,15 @@ impl MemoryController {
         end
     }
 
-    /// Services a batch of writes on channel `c` (FR-FCFS row grouping,
-    /// round-robin across banks).
+    /// Services a batch of writes on channel `c` with FR-FCFS arbitration:
+    /// per-bank queues are row-grouped, each bank visit streams the entire
+    /// pending batch for one row (all hits to the open row before
+    /// switching rows), and visits rotate round-robin over banks — which,
+    /// with group-interleaved bank numbering, rotates bank groups, so the
+    /// activate of the next batch overlaps the current batch's bursts at
+    /// tRRD_S rather than tRRD_L spacing. Refresh is re-checked at every
+    /// batch, not just at drain start, so a drain straddling a tREFI
+    /// boundary stalls for the blackout.
     fn drain_writes(&mut self, c: usize, writes: &[BlockAddr], now: Cycle) -> Cycle {
         if writes.is_empty() {
             return now.max(self.channels[c].bus_free);
@@ -364,64 +487,73 @@ impl MemoryController {
             q.sort_unstable();
         }
 
-        // Round-robin across banks so activates overlap other banks\' bursts.
-        let ch = &mut self.channels[c];
         let mut cursors = std::mem::take(&mut self.scratch.cursors);
         cursors.clear();
         cursors.resize(nbanks, 0);
         let mut remaining: usize = queues.iter().map(Vec::len).sum();
         let mut bank_clock = std::mem::take(&mut self.scratch.bank_clock);
         bank_clock.clear();
-        bank_clock.extend(ch.banks.iter().map(|b| b.cas_ready.max(drain_start)));
+        bank_clock.extend(
+            self.channels[c]
+                .banks
+                .iter()
+                .map(|b| b.cas_ready.max(drain_start)),
+        );
         let mut next_bank = 0;
-        let mut activates = 0u64;
         while remaining > 0 {
-            // Find the next bank with work, round-robin.
+            // Find the next bank with work, round-robin (and therefore
+            // group-rotating: consecutive banks sit in different groups).
             while cursors[next_bank] >= queues[next_bank].len() {
                 next_bank = (next_bank + 1) % nbanks;
             }
-            let (row, _block) = queues[next_bank][cursors[next_bank]];
-            cursors[next_bank] += 1;
-            remaining -= 1;
+            let bank = next_bank;
+            let group = AddressMapping::bank_group(bank as u32, self.config.bank_groups) as usize;
+            let row = queues[bank][cursors[bank]].0;
 
-            let bank_state = ch.banks[next_bank];
+            // Open the row for this batch: a hit streams immediately, a
+            // miss waits out write recovery, precharges, and activates
+            // under the bank-group spacing rules. Both re-check refresh.
+            let bank_state = self.channels[c].banks[bank];
             let hit = bank_state.open_row == Some(row);
-            let cas_at = if hit {
-                bank_clock[next_bank]
+            let mut cas_at = if hit {
+                self.apply_refresh(bank_clock[bank])
             } else {
-                // Wait out write recovery before precharging the bank,
-                // then activate under tRRD/tFAW throttling.
                 let prep = if bank_state.open_row.is_some() {
                     t.t_rp
                 } else {
                     0
                 };
-                let earliest = bank_clock[next_bank].max(bank_state.precharge_ready) + prep;
-                let act = ch.schedule_activate(earliest, &t);
-                activates += 1;
-                act + t.t_rcd
+                let earliest = bank_clock[bank].max(bank_state.precharge_ready) + prep;
+                self.schedule_activate(c, group, bank, earliest) + t.t_rcd
             };
-            // Write latency ≈ CAS latency; consecutive bursts to an open
-            // row pipeline at burst spacing.
-            let burst_start = (cas_at + t.t_cl).max(ch.bus_free);
-            let completion = burst_start + t.t_burst;
-            ch.bus_free = completion;
-            bank_clock[next_bank] = cas_at + t.t_burst;
-            let bank = &mut ch.banks[next_bank];
-            bank.open_row = Some(row);
-            bank.cas_ready = cas_at + t.t_burst;
-            bank.precharge_ready = completion + t.t_wr;
 
-            self.stats.writes += 1;
-            if hit {
-                self.stats.write_row_hits += 1;
+            // Stream the whole row batch at burst spacing.
+            let mut write_hit = hit;
+            while cursors[bank] < queues[bank].len() && queues[bank][cursors[bank]].0 == row {
+                cursors[bank] += 1;
+                remaining -= 1;
+                let ch = &mut self.channels[c];
+                // Write latency ≈ CAS latency; consecutive bursts to an
+                // open row pipeline at burst spacing.
+                let burst_start = (cas_at + t.t_cl).max(ch.bus_free);
+                let completion = burst_start + t.t_burst;
+                ch.bus_free = completion;
+                let b = &mut ch.banks[bank];
+                b.open_row = Some(row);
+                b.cas_ready = cas_at + t.t_burst;
+                b.precharge_ready = completion + t.t_wr;
+                self.stats.writes += 1;
+                if write_hit {
+                    self.stats.write_row_hits += 1;
+                }
+                write_hit = true;
+                self.energy.write_pj += self.config.energy.write_burst_pj;
+                cas_at += t.t_burst;
             }
-            self.energy.write_pj += self.config.energy.write_burst_pj;
+            bank_clock[bank] = cas_at;
             next_bank = (next_bank + 1) % nbanks;
         }
 
-        self.stats.activates += activates;
-        self.energy.activate_pj += activates as f64 * self.config.energy.activate_pj;
         self.stats.drain_cycles += self.channels[c].bus_free - drain_start;
         self.stats.coalesced_writes = self
             .channels
@@ -450,14 +582,15 @@ impl MemoryController {
     }
 
     /// Next cycle *some* channel is free (the earliest bus-free time) —
-    /// the idleness signal load-balancing dispatch uses.
+    /// the idleness signal load-balancing dispatch uses. Construction
+    /// validates `channels >= 1`, so this cannot fail.
     #[must_use]
     pub fn channel_free_at(&self) -> Cycle {
         self.channels
             .iter()
             .map(|c| c.bus_free)
             .min()
-            .expect("at least one channel")
+            .expect("validated config has at least one channel")
     }
 
     /// Event counters since construction.
@@ -548,9 +681,19 @@ impl dbi::snap::Snapshot for Channel {
         self.write_buffer.snapshot(w);
         w.u64(self.bus_free);
         w.bool(self.last_was_write);
-        w.usize(self.recent_activates.len());
-        for &t in &self.recent_activates {
-            w.u64(t);
+        match self.last_activate {
+            Some(t) => {
+                w.bool(true);
+                w.u64(t);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.groups.len());
+        for g in &self.groups {
+            w.usize(g.recent.len());
+            for &t in &g.recent {
+                w.u64(t);
+            }
         }
     }
 
@@ -563,15 +706,36 @@ impl dbi::snap::Snapshot for Channel {
         self.write_buffer.restore(r)?;
         self.bus_free = r.u64()?;
         self.last_was_write = r.bool()?;
-        let n = r.usize()?;
-        if n > 4 {
-            return Err(SnapError::Corrupt(format!(
-                "activate window holds {n} > 4 entries"
-            )));
+        self.last_activate = if r.bool()? { Some(r.u64()?) } else { None };
+        r.expect_len("bank-group windows", self.groups.len())?;
+        let mut latest = None;
+        for g in &mut self.groups {
+            let n = r.usize()?;
+            if n > 4 {
+                return Err(SnapError::Corrupt(format!(
+                    "activate window holds {n} > 4 entries"
+                )));
+            }
+            g.recent.clear();
+            for _ in 0..n {
+                let t = r.u64()?;
+                if g.recent.back().is_some_and(|&prev| prev > t) {
+                    return Err(SnapError::Corrupt(
+                        "activate window times must be nondecreasing".to_string(),
+                    ));
+                }
+                g.recent.push_back(t);
+            }
+            if let Some(&back) = g.recent.back() {
+                latest = Some(latest.map_or(back, |m: Cycle| m.max(back)));
+            }
         }
-        self.recent_activates.clear();
-        for _ in 0..n {
-            self.recent_activates.push_back(r.u64()?);
+        // Every activate lands in some group window and `last_activate`
+        // tracks the newest, so the two views must agree.
+        if self.last_activate != latest {
+            return Err(SnapError::Corrupt(
+                "channel last-activate disagrees with its group windows".to_string(),
+            ));
         }
         Ok(())
     }
@@ -579,8 +743,8 @@ impl dbi::snap::Snapshot for Channel {
 
 impl dbi::snap::Snapshot for MemoryController {
     fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
-        // `scratch` is cleared at the start of every drain pass, so it is
-        // not part of the architectural state.
+        // `scratch` is cleared at the start of every drain pass and
+        // `trace` is diagnostic, so neither is architectural state.
         w.usize(self.channels.len());
         for c in &self.channels {
             c.snapshot(w);
@@ -648,11 +812,35 @@ mod tests {
         let t = DramTiming::ddr3_1066();
         let a = m.read(0, 0); // bank 0
         let b = m.read(128, 0); // bank 1, issued same cycle
-                                // Bank 1's activate (tRRD after bank 0's) and CAS overlap bank 0's
-                                // access; the pair completes far sooner than two serial accesses.
+                                // With one bank group, bank 1's activate waits tRRD_L after bank
+                                // 0's; its CAS overlaps bank 0's access, so the pair completes far
+                                // sooner than two serial accesses.
         assert_eq!(a, t.row_closed());
-        assert_eq!(b, t.t_rrd + t.row_closed());
+        assert_eq!(b, t.t_rrd_l + t.row_closed());
         assert!(b < 2 * t.row_closed());
+    }
+
+    #[test]
+    fn cross_group_activates_pay_short_spacing() {
+        let t = DramTiming::ddr3_1066();
+        // Banks 0 and 1 sit in different groups once the device has more
+        // than one: the second activate issues after only tRRD_S.
+        let mut config = DramConfig::ddr3_1066();
+        config.bank_groups = 4;
+        let mut m = MemoryController::new(config);
+        let a = m.read(0, 0); // bank 0, group 0
+        let b = m.read(128, 0); // bank 1, group 1
+        assert_eq!(a, t.row_closed());
+        // At tRRD_S the second activate is early enough that the data bus,
+        // not the activate window, is the binding resource.
+        assert_eq!(b, a + t.t_burst);
+
+        // Same two banks in one group: the long spacing binds instead.
+        let mut single = controller();
+        let _ = single.read(0, 0);
+        let b_single = single.read(128, 0);
+        assert_eq!(b_single, t.t_rrd_l + t.row_closed());
+        assert!(b < b_single, "short spacing finishes the pair sooner");
     }
 
     #[test]
@@ -714,6 +902,28 @@ mod tests {
     }
 
     #[test]
+    fn drains_overlap_more_with_more_bank_groups() {
+        // The ablation's mechanism in miniature: identical all-miss drains,
+        // sweeping only the group count. More groups let consecutive row
+        // batches activate at tRRD_S instead of tRRD_L/tFAW pacing.
+        let drain_cycles = |groups: u32| {
+            let mut config = DramConfig::ddr3_1066();
+            config.write_buffer_capacity = 32;
+            config.bank_groups = groups;
+            let mut m = MemoryController::new(config);
+            for r in 0..32u64 {
+                m.enqueue_write(r * 128, 0); // rows 0..31: banks 0..7, all misses
+            }
+            assert_eq!(m.stats().drains, 1);
+            m.stats().drain_cycles
+        };
+        assert!(
+            drain_cycles(4) < drain_cycles(1),
+            "four groups must shorten an all-miss drain"
+        );
+    }
+
+    #[test]
     fn buffer_forwarding_serves_pending_writes() {
         let mut m = controller();
         m.enqueue_write(42, 0);
@@ -722,6 +932,40 @@ mod tests {
         assert_eq!(done, 10 + t.t_burst);
         assert_eq!(m.stats().buffer_forwards, 1);
         assert_eq!(m.stats().reads, 0, "forwarded read is not a DRAM read");
+    }
+
+    #[test]
+    fn buffer_forwards_occupy_the_bus() {
+        // Regression: forwards used to return `now + t_burst` without
+        // touching `bus_free`, so back-to-back forwards were free
+        // bandwidth. They must serialize on the channel like any burst.
+        let mut m = controller();
+        m.enqueue_write(42, 0);
+        m.enqueue_write(43, 0);
+        let t = DramTiming::ddr3_1066();
+        let first = m.read(42, 0);
+        assert_eq!(first, t.t_burst);
+        let second = m.read(43, 0);
+        assert_eq!(second, 2 * t.t_burst, "second forward queues on the bus");
+        assert_eq!(m.stats().buffer_forwards, 2);
+        // And a DRAM read issued behind them waits for the bus too.
+        let dram_read = m.read(9 * 128, second); // different bank, not buffered
+        assert!(dram_read >= second + t.row_closed());
+    }
+
+    #[test]
+    fn buffer_forwards_respect_write_turnaround() {
+        // Regression: a forward straight after a drain used to ignore
+        // tWTR even though its burst reverses the bus direction.
+        let mut m = small_buffer(2);
+        m.enqueue_write(0, 0);
+        m.enqueue_write(1, 0); // fills: drains, last op is a write
+        assert_eq!(m.stats().drains, 1);
+        let end = m.channel_free_at();
+        m.enqueue_write(5, end); // pending again, same row/channel
+        let t = DramTiming::ddr3_1066();
+        let done = m.read(5, end);
+        assert_eq!(done, end + t.t_wtr + t.t_burst);
     }
 
     #[test]
@@ -769,6 +1013,67 @@ mod tests {
         let _ = m.read(1, 1_000_000);
         assert!(m.energy().background_pj > e0);
     }
+
+    #[test]
+    fn activate_trace_records_issue_order() {
+        let mut config = DramConfig::ddr3_1066();
+        config.bank_groups = 4;
+        let mut m = MemoryController::new(config);
+        assert!(m.activate_trace().is_empty(), "tracing starts disabled");
+        m.trace_activates(true);
+        let _ = m.read(0, 0); // bank 0, group 0
+        let _ = m.read(128, 0); // bank 1, group 1
+        let trace = m.activate_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!((trace[0].bank, trace[0].group), (0, 0));
+        assert_eq!((trace[1].bank, trace[1].group), (1, 1));
+        assert!(trace[0].at < trace[1].at);
+        m.trace_activates(false);
+        let _ = m.read(2 * 128, 500);
+        assert!(m.activate_trace().is_empty(), "disabling clears the log");
+    }
+}
+
+#[cfg(test)]
+mod config_rejection_tests {
+    use super::*;
+    use crate::{AddressMapping, DramConfigError};
+
+    #[test]
+    fn try_new_rejects_each_degenerate_axis() {
+        let mut c = DramConfig::ddr3_1066();
+        c.channels = 0;
+        assert_eq!(
+            MemoryController::try_new(c).err(),
+            Some(DramConfigError::ZeroChannels)
+        );
+
+        let mut c = DramConfig::ddr3_1066();
+        c.mapping = AddressMapping::new(0, 128);
+        assert_eq!(
+            MemoryController::try_new(c).err(),
+            Some(DramConfigError::ZeroBanks)
+        );
+
+        let mut c = DramConfig::ddr3_1066();
+        c.bank_groups = 0;
+        assert_eq!(
+            MemoryController::try_new(c).err(),
+            Some(DramConfigError::ZeroBankGroups)
+        );
+
+        assert!(MemoryController::try_new(DramConfig::ddr3_1066()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn new_panics_on_zero_channels_with_a_reason() {
+        // Regression: this used to reach `route`/`channel_free_at` and die
+        // on modulo-by-zero; now construction itself reports the problem.
+        let mut c = DramConfig::ddr3_1066();
+        c.channels = 0;
+        let _ = MemoryController::new(c);
+    }
 }
 
 #[cfg(test)]
@@ -797,6 +1102,39 @@ mod policy_tests {
         });
         assert_eq!(m3.read(0, later), later + m3.config().timing.row_closed());
         assert_eq!(m3.stats().refresh_stalls, 0);
+    }
+
+    #[test]
+    fn drain_crossing_refresh_boundary_stalls_for_trfc() {
+        // Regression: refresh used to be checked only at drain start, so a
+        // drain straddling a tREFI boundary issued activates straight
+        // through the tRFC blackout. Start a long all-miss drain shortly
+        // before the boundary and compare against the refresh-free run.
+        let start = crate::REFRESH_T_REFI - 200; // in the clear, near the edge
+        let drain_end = |refresh: bool| {
+            let mut config = DramConfig::ddr3_1066();
+            config.write_buffer_capacity = 8;
+            config.refresh = refresh;
+            let mut m = MemoryController::new(config);
+            for r in 0..8u64 {
+                m.enqueue_write(r * 128 * 8, start); // 8 rows, one bank
+            }
+            assert_eq!(m.stats().drains, 1);
+            (m.channel_free_at(), m.stats().refresh_stalls)
+        };
+        let (without, stalls_without) = drain_end(false);
+        let (with, stalls_with) = drain_end(true);
+        assert_eq!(stalls_without, 0);
+        assert!(stalls_with >= 1, "the mid-drain blackout must be observed");
+        assert!(
+            with >= without + 200,
+            "drain crossing tREFI must stall for the blackout \
+             (with refresh: {with}, without: {without})"
+        );
+        assert!(
+            with <= without + crate::REFRESH_T_RFC,
+            "the stall is bounded by tRFC"
+        );
     }
 
     #[test]
@@ -842,7 +1180,7 @@ mod policy_tests {
 #[cfg(test)]
 mod snapshot_tests {
     use super::*;
-    use dbi::snap::{restore_bytes, snapshot_bytes, SnapError, Snapshot};
+    use dbi::snap::{restore_bytes, snapshot_bytes, SnapError, SnapReader, SnapWriter, Snapshot};
 
     fn driven(config: DramConfig, ops: u64) -> MemoryController {
         let mut m = MemoryController::new(config);
@@ -894,18 +1232,49 @@ mod snapshot_tests {
     }
 
     #[test]
+    fn snapshot_round_trips_bank_group_scheduler_state() {
+        // Multi-group controller mid-traffic: group windows and the
+        // channel's last-activate must survive the round trip bit-exactly.
+        let mut config = DramConfig::ddr3_1066();
+        config.bank_groups = 4;
+        config.write_buffer_capacity = 8;
+        let mut original = driven(config.clone(), 150);
+        let bytes = snapshot_bytes(&original);
+
+        let mut restored = MemoryController::new(config);
+        restore_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.stats(), original.stats());
+        let mut now = original.channel_free_at();
+        for i in 0..60u64 {
+            let block = (i * 29) % 4096;
+            assert_eq!(original.read(block, now), restored.read(block, now));
+            original.enqueue_write(block + 3, now);
+            restored.enqueue_write(block + 3, now);
+            now += 13;
+        }
+        assert_eq!(original.flush(now), restored.flush(now));
+        assert_eq!(original.stats(), restored.stats());
+    }
+
+    #[test]
     fn snapshot_rejects_wrong_geometry() {
         let config = DramConfig::ddr3_1066();
         let m = driven(config.clone(), 50);
         let bytes = snapshot_bytes(&m);
 
-        let mut two_channel = config;
+        let mut two_channel = config.clone();
         two_channel.channels = 2;
         let mut wrong = MemoryController::new(two_channel);
         assert!(matches!(
             restore_bytes(&mut wrong, &bytes),
             Err(SnapError::Mismatch { .. })
         ));
+
+        // A different group count is a geometry mismatch too.
+        let mut grouped = config;
+        grouped.bank_groups = 2;
+        let mut wrong_groups = MemoryController::new(grouped);
+        assert!(restore_bytes(&mut wrong_groups, &bytes).is_err());
     }
 
     #[test]
@@ -916,6 +1285,81 @@ mod snapshot_tests {
         bytes[mid] ^= 0x40;
         let mut fresh = MemoryController::new(DramConfig::ddr3_1066());
         assert!(restore_bytes(&mut fresh, &bytes).is_err());
+    }
+
+    /// Hand-writes a minimal one-channel/one-bank controller image up to
+    /// the activate-scheduler fields, which the caller supplies.
+    fn forged_image(write_scheduler: impl FnOnce(&mut SnapWriter)) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.usize(1); // channels
+        w.usize(1); // banks
+        w.bool(false); // no open row
+        w.u64(0); // cas_ready
+        w.u64(0); // precharge_ready
+        w.usize(1); // write buffer capacity
+        w.usize(0); // write buffer len
+        w.u64(0); // coalesced
+        w.u64(0); // bus_free
+        w.bool(false); // last_was_write
+        write_scheduler(&mut w);
+        w.finish()
+    }
+
+    fn tiny_controller() -> MemoryController {
+        let mut config = DramConfig::ddr3_1066();
+        config.mapping = crate::AddressMapping::new(1, 1);
+        config.write_buffer_capacity = 1;
+        MemoryController::new(config)
+    }
+
+    #[test]
+    fn restore_rejects_window_without_last_activate() {
+        let bytes = forged_image(|w| {
+            w.bool(false); // last_activate = None ...
+            w.usize(1); // ... yet the single group window
+            w.usize(1);
+            w.u64(5); // holds an activate
+        });
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(
+            tiny_controller().restore(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_decreasing_window_times() {
+        let bytes = forged_image(|w| {
+            w.bool(true);
+            w.u64(9); // last_activate
+            w.usize(1); // one group
+            w.usize(2); // window of two ...
+            w.u64(9);
+            w.u64(3); // ... running backwards in time
+        });
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(
+            tiny_controller().restore(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_overfull_window() {
+        let bytes = forged_image(|w| {
+            w.bool(true);
+            w.u64(50);
+            w.usize(1);
+            w.usize(5); // five activates in a four-deep tFAW window
+            for t in [10u64, 20, 30, 40, 50] {
+                w.u64(t);
+            }
+        });
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(
+            tiny_controller().restore(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct EnergyModel {
     pub read_burst_pj: f64,
     /// One 64-byte write burst.
     pub write_burst_pj: f64,
+    /// One 64-byte burst forwarded from the controller's write buffer: the
+    /// data crosses the channel I/O but never touches the DRAM array, so
+    /// only the interface half of a read burst is paid.
+    pub forward_burst_pj: f64,
     /// Background/refresh power, picojoules per CPU cycle of simulated
     /// time.
     pub background_pj_per_cycle: f64,
@@ -25,14 +29,15 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Coefficients for a DDR3-1066 x8 rank (derived from Micron power
     /// calculator outputs: IDD0-dominated activates ≈ 3.8 nJ, burst I/O
-    /// ≈ 2.0–2.3 nJ per 64 B, background ≈ 80 mW ≈ 0.03 pJ per 2.67 GHz
-    /// cycle).
+    /// ≈ 2.0–2.3 nJ per 64 B of which roughly half is interface power,
+    /// background ≈ 80 mW ≈ 0.03 pJ per 2.67 GHz cycle).
     #[must_use]
     pub fn ddr3_1066() -> Self {
         EnergyModel {
             activate_pj: 3800.0,
             read_burst_pj: 2000.0,
             write_burst_pj: 2300.0,
+            forward_burst_pj: 1100.0,
             background_pj_per_cycle: 0.03e3,
         }
     }
@@ -48,6 +53,8 @@ pub struct DramEnergy {
     pub read_pj: f64,
     /// Energy of write bursts, picojoules.
     pub write_pj: f64,
+    /// Energy of write-buffer forward bursts, picojoules.
+    pub forward_pj: f64,
     /// Background and refresh energy, picojoules.
     pub background_pj: f64,
 }
@@ -56,7 +63,7 @@ impl DramEnergy {
     /// Total energy in picojoules.
     #[must_use]
     pub fn total_pj(&self) -> f64 {
-        self.activate_pj + self.read_pj + self.write_pj + self.background_pj
+        self.activate_pj + self.read_pj + self.write_pj + self.forward_pj + self.background_pj
     }
 
     /// Total energy in millijoules, for reporting.
@@ -72,6 +79,7 @@ impl DramEnergy {
             activate_pj: self.activate_pj - baseline.activate_pj,
             read_pj: self.read_pj - baseline.read_pj,
             write_pj: self.write_pj - baseline.write_pj,
+            forward_pj: self.forward_pj - baseline.forward_pj,
             background_pj: self.background_pj - baseline.background_pj,
         }
     }
@@ -83,9 +91,10 @@ impl dbi::snap::Snapshot for DramEnergy {
             activate_pj,
             read_pj,
             write_pj,
+            forward_pj,
             background_pj,
         } = *self;
-        for x in [activate_pj, read_pj, write_pj, background_pj] {
+        for x in [activate_pj, read_pj, write_pj, forward_pj, background_pj] {
             w.f64(x);
         }
     }
@@ -94,6 +103,7 @@ impl dbi::snap::Snapshot for DramEnergy {
         self.activate_pj = r.f64()?;
         self.read_pj = r.f64()?;
         self.write_pj = r.f64()?;
+        self.forward_pj = r.f64()?;
         self.background_pj = r.f64()?;
         Ok(())
     }
@@ -109,9 +119,10 @@ mod tests {
             activate_pj: 1.0,
             read_pj: 2.0,
             write_pj: 3.0,
-            background_pj: 4.0,
+            forward_pj: 4.0,
+            background_pj: 5.0,
         };
-        assert!((e.total_pj() - 10.0).abs() < 1e-12);
+        assert!((e.total_pj() - 15.0).abs() < 1e-12);
     }
 
     #[test]
@@ -121,5 +132,7 @@ mod tests {
         let m = EnergyModel::ddr3_1066();
         assert!(m.activate_pj > m.read_burst_pj);
         assert!(m.activate_pj > m.write_burst_pj);
+        // And a forward, skipping the array, undercuts a real read burst.
+        assert!(m.forward_burst_pj < m.read_burst_pj);
     }
 }

@@ -22,6 +22,14 @@ pub struct Location {
 /// granularity equals `blocks_per_row` (the paper's default uses granularity
 /// 64 with 128-block rows, i.e. one entry per half-row).
 ///
+/// When the device has bank groups (`DramConfig::bank_groups`), banks are
+/// numbered group-interleaved — bank `b` belongs to group
+/// `b % bank_groups` ([`AddressMapping::bank_group`]) — so the row stripe
+/// that walks banks `0, 1, 2, …` also alternates bank groups. Consecutive
+/// DRAM rows therefore land in different groups, and a drain that walks
+/// row batches in order issues its activates cross-group (tRRD_S apart)
+/// rather than same-group (tRRD_L apart).
+///
 /// # Example
 ///
 /// ```
@@ -30,6 +38,7 @@ pub struct Location {
 /// let m = AddressMapping::new(8, 128);
 /// let loc = m.locate(128 * 8 + 5); // row 8 -> second trip around the banks
 /// assert_eq!((loc.bank, loc.row, loc.col), (0, 1, 5));
+/// assert_eq!(AddressMapping::bank_group(loc.bank, 4), 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapping {
@@ -41,15 +50,13 @@ impl AddressMapping {
     /// Creates a mapping with `banks` banks and `blocks_per_row` blocks per
     /// DRAM row.
     ///
-    /// # Panics
-    ///
-    /// Panics if either parameter is zero.
+    /// Degenerate parameters (zero banks or zero blocks per row) are
+    /// representable — a `DramConfig` carrying them is rejected with a
+    /// typed [`DramConfigError`](crate::DramConfigError) when a controller
+    /// is built — but [`AddressMapping::locate`] on such a mapping divides
+    /// by zero.
     #[must_use]
     pub fn new(banks: u32, blocks_per_row: u32) -> Self {
-        assert!(
-            banks > 0 && blocks_per_row > 0,
-            "mapping parameters must be nonzero"
-        );
         AddressMapping {
             banks,
             blocks_per_row,
@@ -68,7 +75,23 @@ impl AddressMapping {
         self.blocks_per_row
     }
 
+    /// The bank group of `bank` when the device's banks are divided into
+    /// `bank_groups` groups: banks are numbered group-interleaved, so
+    /// consecutive banks (and with them consecutive rows of the stripe)
+    /// alternate groups.
+    #[must_use]
+    pub fn bank_group(bank: u32, bank_groups: u32) -> u32 {
+        bank % bank_groups
+    }
+
     /// DRAM coordinates of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Divides by zero on a degenerate mapping (zero banks or zero blocks
+    /// per row) — build controllers through
+    /// [`MemoryController::try_new`](crate::MemoryController::try_new) to
+    /// reject those configurations up front.
     #[must_use]
     pub fn locate(&self, block: BlockAddr) -> Location {
         let global_row = block / u64::from(self.blocks_per_row);
@@ -121,8 +144,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
-    fn zero_banks_panics() {
-        let _ = AddressMapping::new(0, 128);
+    fn consecutive_banks_alternate_groups() {
+        // 8 banks in 4 groups: groups cycle 0,1,2,3,0,1,2,3 — adjacent
+        // banks (hence adjacent rows of the stripe) never share a group.
+        let groups: Vec<u32> = (0..8).map(|b| AddressMapping::bank_group(b, 4)).collect();
+        assert_eq!(groups, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        for w in groups.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        // One group degenerates to "everything is group 0".
+        assert!((0..8).all(|b| AddressMapping::bank_group(b, 1) == 0));
     }
 }

@@ -90,4 +90,71 @@ proptest! {
             now = done;
         }
     }
+
+    /// Under arbitrary traffic and any legal group count, the activate
+    /// trace obeys every spacing rule the scheduler claims to enforce:
+    /// any two activates on one channel are ≥ tRRD_S apart, consecutive
+    /// activates within one (channel, group) are ≥ tRRD_L apart, and no
+    /// tFAW window of a (channel, group) ever holds more than four
+    /// activates.
+    #[test]
+    fn activate_windows_are_respected(
+        ops in traffic(),
+        bank_groups in prop::sample::select(vec![1u32, 2, 4, 8]),
+        channels in 1u32..3,
+    ) {
+        let mut config = DramConfig::ddr3_1066();
+        config.write_buffer_capacity = 8;
+        config.bank_groups = bank_groups;
+        config.channels = channels;
+        let t = config.timing;
+        let mut m = MemoryController::new(config);
+        m.trace_activates(true);
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Read(b) => now = m.read(b, now),
+                Op::Write(b) => m.enqueue_write(b, now),
+            }
+        }
+        m.flush(now);
+
+        // Group the trace by channel and by (channel, group); issue order
+        // is chronological per channel, but sort to be safe.
+        let mut per_channel: std::collections::HashMap<u32, Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut per_group: std::collections::HashMap<(u32, u32), Vec<u64>> =
+            std::collections::HashMap::new();
+        for e in m.activate_trace() {
+            prop_assert!(e.group < bank_groups, "group ids stay in range");
+            per_channel.entry(e.channel).or_default().push(e.at);
+            per_group.entry((e.channel, e.group)).or_default().push(e.at);
+        }
+        for times in per_channel.values_mut() {
+            times.sort_unstable();
+            for w in times.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= t.t_rrd_s,
+                    "channel activates {} and {} violate tRRD_S", w[0], w[1]
+                );
+            }
+        }
+        for times in per_group.values_mut() {
+            times.sort_unstable();
+            for w in times.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= t.t_rrd_l,
+                    "same-group activates {} and {} violate tRRD_L", w[0], w[1]
+                );
+            }
+            // A fifth activate must clear the window opened by the first:
+            // equivalently, no interval of length tFAW holds five.
+            for w in times.windows(5) {
+                prop_assert!(
+                    w[4] - w[0] >= t.t_faw,
+                    "five activates within tFAW: {} .. {}", w[0], w[4]
+                );
+            }
+        }
+    }
 }

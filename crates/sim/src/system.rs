@@ -94,6 +94,7 @@ impl MixResult {
             energy.activate_pj,
             energy.read_pj,
             energy.write_pj,
+            energy.forward_pj,
             energy.background_pj,
         ]
         .iter()

@@ -113,6 +113,24 @@ fn repeated_crashes_still_match_straight_through() {
     assert!(crashes > 3, "only {crashes} crashes — loop not exercised");
 }
 
+/// The bank-group scheduler adds per-group activate windows and a
+/// channel-level last-activate to the DRAM snapshot; crash/resume with a
+/// multi-group device must still be bit-identical mid-drain.
+#[test]
+fn bank_group_scheduler_state_survives_crashes() {
+    let mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    };
+    let mut config = tiny_config(2, mechanism, 13);
+    config.dram.bank_groups = 4;
+    let mix = WorkloadMix::new(vec![Benchmark::Milc, Benchmark::Lbm]);
+    let straight = System::new(&mix, &config).run().digest();
+    let (digest, crashes) = run_with_crashes(&mix, &config, 500);
+    assert_eq!(straight, digest);
+    assert!(crashes > 3, "only {crashes} crashes — loop not exercised");
+}
+
 /// The wall-clock cadence places checkpoints nondeterministically, but
 /// their *content* is a deterministic function of the step count — so a
 /// resume from wherever one landed is still bit-identical to a

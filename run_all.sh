@@ -25,6 +25,7 @@ BINARIES=(
     ablation_drain_policy
     ablation_l2_dbi
     ablation_channels
+    ablation_bankgroups
     workload_report
 )
 for bin in "${BINARIES[@]}"; do
