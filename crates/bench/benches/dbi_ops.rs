@@ -105,7 +105,7 @@ fn bench_updates(c: &mut Criterion) {
 }
 
 fn bench_flush(c: &mut Criterion) {
-    c.bench_function("dbi_flush_all_full", |bencher| {
+    c.bench_function("dbi_flush_each_full", |bencher| {
         bencher.iter_batched(
             || {
                 let mut dbi = paper_dbi();
@@ -114,7 +114,11 @@ fn bench_flush(c: &mut Criterion) {
                 }
                 dbi
             },
-            |mut dbi| black_box(dbi.flush_all().len()),
+            |mut dbi| {
+                let mut n = 0u64;
+                dbi.flush_each(|_row, _block| n += 1);
+                black_box(n)
+            },
             criterion::BatchSize::SmallInput,
         );
     });

@@ -1,0 +1,413 @@
+//! `dramcache_gb` — the GB-scale DRAM-cache scenario figure.
+//!
+//! Drives [`GbDramCache`] at million-row capacities under three synthetic
+//! access patterns — a hot-row mix (dense dirty rows), a sparse sweep
+//! (one or two dirty blocks per row), and a streaming writer (contiguous
+//! dirty runs) — once per container policy (dense-only / sparse-only /
+//! adaptive). The figure reports the modeled dirty-metadata bytes and the
+//! records-per-second throughput of each `(workload, policy)` point: the
+//! adaptive container must match dense-only behaviour bit for bit while
+//! spending a fraction of its metadata on sparse and streaming rows.
+//!
+//! No cycle-level simulation runs here, so the scenario bypasses the
+//! `RunUnit` machinery and caches its records as store *blobs* (see
+//! `ResultStore::save_blob`): a warm rerun loads every record — including
+//! the cold run's measured throughput — and reproduces the TSV byte for
+//! byte with zero simulations, the same contract CI enforces for the
+//! figure binaries.
+//!
+//! The run also enforces the memory budget inline: at the sparse workload
+//! point, adaptive metadata must cost at most 25% of dense-only, or the
+//! process exits nonzero.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin dramcache_gb
+//! [--quick|--full]`
+
+use std::time::Instant;
+
+use dbi::ContainerPolicy;
+use dbi_bench::{
+    listing, pct, print_table, scenario_key, write_tsv, BenchArgs, Effort, ResultStore, StoreKey,
+};
+use system_sim::{GbCacheConfig, GbDramCache};
+
+/// Fixed workload seed: part of every scenario fingerprint, so changing
+/// it invalidates cached records instead of mixing traces.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The three access patterns of the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// A small set of hot rows, random blocks, half writes: rows go
+    /// densely dirty, the pattern every fixed bit-vector design assumes.
+    Hot,
+    /// Uniform rows over 4x the capacity, one block each, half writes:
+    /// one or two dirty bits per row, the sparse-list sweet spot.
+    Sparse,
+    /// Sequential writes walking row after row: contiguous dirty runs,
+    /// the run-length sweet spot.
+    Stream,
+}
+
+impl Workload {
+    const ALL: [Workload; 3] = [Workload::Hot, Workload::Sparse, Workload::Stream];
+
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Hot => "hot",
+            Workload::Sparse => "sparse",
+            Workload::Stream => "stream",
+        }
+    }
+}
+
+/// Everything one `(workload, policy)` unit measures. All fields except
+/// `recs_per_sec` are deterministic replays of the seeded workload; the
+/// throughput is measured once (cold) and then served from the blob so
+/// warm reruns stay byte-identical.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    resident_rows: u64,
+    dirty_blocks: u64,
+    metadata_bytes: u64,
+    hits: u64,
+    writebacks: u64,
+    census_dense: u64,
+    census_sparse: u64,
+    census_rle: u64,
+    recs_per_sec: f64,
+}
+
+impl Record {
+    fn serialize(&self) -> String {
+        format!(
+            "resident_rows {}\ndirty_blocks {}\nmetadata_bytes {}\nhits {}\nwritebacks {}\n\
+             census {} {} {}\nrecs_per_sec {:016x}\n",
+            self.resident_rows,
+            self.dirty_blocks,
+            self.metadata_bytes,
+            self.hits,
+            self.writebacks,
+            self.census_dense,
+            self.census_sparse,
+            self.census_rle,
+            self.recs_per_sec.to_bits()
+        )
+    }
+
+    /// Strict parser; any deviation is a miss and the unit resimulates.
+    fn parse(payload: &str) -> Option<Record> {
+        let mut lines = payload.lines();
+        let mut field = |name: &str| {
+            lines
+                .next()?
+                .strip_prefix(name)?
+                .strip_prefix(' ')
+                .map(str::to_string)
+        };
+        let resident_rows: u64 = field("resident_rows")?.parse().ok()?;
+        let dirty_blocks: u64 = field("dirty_blocks")?.parse().ok()?;
+        let metadata_bytes: u64 = field("metadata_bytes")?.parse().ok()?;
+        let hits: u64 = field("hits")?.parse().ok()?;
+        let writebacks: u64 = field("writebacks")?.parse().ok()?;
+        let census = field("census")?;
+        let mut census = census.split(' ');
+        let mut next_u64 = || census.next().and_then(|v| v.parse::<u64>().ok());
+        let (census_dense, census_sparse, census_rle) = (next_u64()?, next_u64()?, next_u64()?);
+        let recs = u64::from_str_radix(&field("recs_per_sec")?, 16).ok()?;
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(Record {
+            resident_rows,
+            dirty_blocks,
+            metadata_bytes,
+            hits,
+            writebacks,
+            census_dense,
+            census_sparse,
+            census_rle,
+            recs_per_sec: f64::from_bits(recs),
+        })
+    }
+}
+
+/// Tiny xorshift64 — deterministic, seedable, no external crates.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One deterministic replay of `ops` accesses against a fresh cache,
+/// returning the cache, the eviction-writeback count seen by the sink,
+/// and the elapsed wall time.
+fn replay(workload: Workload, config: &GbCacheConfig, ops: u64) -> (GbDramCache, u64, f64) {
+    let mut cache = GbDramCache::new(config);
+    let rows = config.capacity_rows();
+    let row_blocks = config.row_blocks as u64;
+    let mut rng = SEED | 1;
+    // Hot set small enough that every row goes densely dirty at any
+    // effort level, large enough to exercise eviction-free steady state.
+    let hot_rows = (rows / 16).clamp(1, 8192);
+    let mut evicted = 0u64;
+    let start = Instant::now();
+    for i in 0..ops {
+        let r = xorshift(&mut rng);
+        let (block, write) = match workload {
+            // The write decision reads a high bit: the low bits feed the
+            // row index, and reusing them would correlate "is a write"
+            // with "is an even row".
+            Workload::Hot => {
+                let row = r % hot_rows;
+                let offset = (r >> 32) % row_blocks;
+                (row * row_blocks + offset, (r >> 43) & 1 == 0)
+            }
+            Workload::Sparse => {
+                let row = r % (rows * 4);
+                let offset = (r >> 32) % row_blocks;
+                (row * row_blocks + offset, (r >> 43) & 1 == 0)
+            }
+            Workload::Stream => (i % (rows * 2 * row_blocks), true),
+        };
+        if write {
+            cache.write(block, |_| evicted += 1);
+        } else {
+            cache.read(block, |_| evicted += 1);
+        }
+    }
+    (cache, evicted, start.elapsed().as_secs_f64())
+}
+
+/// Replays the workload twice against fresh caches — the first pass warms
+/// the allocator and the page tables, the second (identical) pass is the
+/// one whose timing counts; the faster of the two is reported so one
+/// scheduler hiccup cannot skew a policy's point — and measures the
+/// result off the final state.
+fn simulate(workload: Workload, config: &GbCacheConfig, ops: u64) -> Record {
+    let (_, _, cold_elapsed) = replay(workload, config, ops);
+    let (cache, evicted, warm_elapsed) = replay(workload, config, ops);
+    let elapsed = cold_elapsed.min(warm_elapsed);
+    cache.assert_invariants();
+    assert_eq!(
+        evicted,
+        cache.stats().writebacks,
+        "every eviction writeback reaches the sink exactly once"
+    );
+    let view = cache.dirty();
+    let census = view.census();
+    Record {
+        resident_rows: cache.resident_rows(),
+        dirty_blocks: view.count(),
+        metadata_bytes: cache.metadata_bytes(),
+        hits: cache.stats().hits,
+        writebacks: cache.stats().writebacks,
+        census_dense: census.dense,
+        census_sparse: census.sparse,
+        census_rle: census.rle,
+        recs_per_sec: ops as f64 / elapsed.max(1e-9),
+    }
+}
+
+/// The scenario's content address: every parameter the replay depends on.
+fn unit_key(workload: Workload, config: &GbCacheConfig, ops: u64) -> StoreKey {
+    scenario_key(
+        "dramcache_gb",
+        &format!(
+            "wl={} policy={} cap={} blk={} rowblocks={} sample={} ways={} ops={ops} seed={SEED}",
+            workload.name(),
+            config.policy.name(),
+            config.capacity_bytes,
+            config.block_bytes,
+            config.row_blocks,
+            config.sample_every,
+            config.ways
+        ),
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    dbi_bench::set_listing(args.list_units);
+    // Effort scales the cache capacity and the replay length; the default
+    // (and --full) sit at the paper-motivating million-row scale.
+    let (gigabytes, ops) = match args.effort {
+        Effort::Quick => (1u64, 400_000u64),
+        Effort::Default => (8, 3_000_000),
+        Effort::Full => (8, 8_000_000),
+    };
+    let store = args.store_dir().map(ResultStore::open);
+    let start = Instant::now();
+    let (mut hits, mut sims) = (0u64, 0u64);
+
+    let mut results: Vec<(Workload, ContainerPolicy, Record)> = Vec::new();
+    for workload in Workload::ALL {
+        for policy in ContainerPolicy::ALL {
+            let config = GbCacheConfig::gb(gigabytes).with_policy(policy);
+            let key = unit_key(workload, &config, ops);
+            if listing() {
+                let cached = store.as_ref().is_some_and(|s| s.blob_path(&key).exists());
+                println!(
+                    "unit\tdramcache_gb\t{:016x}\t{}\t-\t{}",
+                    key.hash,
+                    if cached { "cached" } else { "uncached" },
+                    key.fingerprint
+                );
+                continue;
+            }
+            let cached = store
+                .as_ref()
+                .and_then(|s| s.load_blob(&key))
+                .and_then(|payload| Record::parse(&payload));
+            let record = match cached {
+                Some(record) => {
+                    hits += 1;
+                    record
+                }
+                None => {
+                    let record = simulate(workload, &config, ops);
+                    sims += 1;
+                    if let Some(store) = &store {
+                        if let Err(e) = store.save_blob(&key, &record.serialize()) {
+                            eprintln!(
+                                "warning: could not write blob {}: {e}",
+                                store.blob_path(&key).display()
+                            );
+                        }
+                    }
+                    record
+                }
+            };
+            results.push((workload, policy, record));
+        }
+    }
+
+    let capacity_rows = GbCacheConfig::gb(gigabytes).capacity_rows();
+    let dense_of = |workload: Workload| {
+        results
+            .iter()
+            .find(|(w, p, _)| *w == workload && *p == ContainerPolicy::DenseOnly)
+            .map(|(_, _, r)| *r)
+            .expect("dense-only point present for every workload")
+    };
+
+    if !listing() {
+        let header: Vec<String> = [
+            "workload/policy",
+            "rows",
+            "dirty_blk",
+            "meta_bytes",
+            "vs_dense",
+            "rec/s",
+            "rec_vs_dense",
+            "repr d/s/r",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let mut rows = Vec::new();
+        let mut tsv_rows = Vec::new();
+        for &(workload, policy, r) in &results {
+            let dense = dense_of(workload);
+            let bytes_ratio = r.metadata_bytes as f64 / dense.metadata_bytes.max(1) as f64;
+            let recs_ratio = r.recs_per_sec / dense.recs_per_sec.max(1e-9);
+            rows.push(vec![
+                format!("{}/{}", workload.name(), policy.name()),
+                r.resident_rows.to_string(),
+                r.dirty_blocks.to_string(),
+                r.metadata_bytes.to_string(),
+                format!("{bytes_ratio:.3}"),
+                format!("{:.0}", r.recs_per_sec),
+                pct(recs_ratio - 1.0),
+                format!("{}/{}/{}", r.census_dense, r.census_sparse, r.census_rle),
+            ]);
+            tsv_rows.push(vec![
+                workload.name().to_string(),
+                policy.name().to_string(),
+                capacity_rows.to_string(),
+                ops.to_string(),
+                r.resident_rows.to_string(),
+                r.dirty_blocks.to_string(),
+                r.hits.to_string(),
+                r.writebacks.to_string(),
+                r.metadata_bytes.to_string(),
+                format!("{bytes_ratio:.4}"),
+                format!("{:.0}", r.recs_per_sec),
+                r.census_dense.to_string(),
+                r.census_sparse.to_string(),
+                r.census_rle.to_string(),
+            ]);
+        }
+        println!(
+            "== GB-scale DRAM cache: dirty metadata vs container policy \
+             ({gigabytes} GB, {capacity_rows} rows, {ops} accesses/point) =="
+        );
+        print_table(18, 12, &header, &rows);
+        let tsv_header: Vec<String> = [
+            "workload",
+            "policy",
+            "capacity_rows",
+            "ops",
+            "resident_rows",
+            "dirty_blocks",
+            "hits",
+            "writebacks",
+            "metadata_bytes",
+            "bytes_vs_dense",
+            "recs_per_sec",
+            "census_dense",
+            "census_sparse",
+            "census_rle",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        write_tsv(
+            &args.results_dir(),
+            "dramcache_gb.tsv",
+            &tsv_header,
+            &tsv_rows,
+        );
+
+        // The memory budget CI enforces: at the sparse workload point the
+        // adaptive containers must cost at most 25% of the dense words
+        // they replace. Deterministic (modeled bytes, replayed workload),
+        // so it holds identically cold and warm.
+        let sparse_dense = dense_of(Workload::Sparse);
+        let sparse_adaptive = results
+            .iter()
+            .find(|(w, p, _)| *w == Workload::Sparse && *p == ContainerPolicy::Adaptive)
+            .map(|(_, _, r)| *r)
+            .expect("adaptive point present");
+        let ratio =
+            sparse_adaptive.metadata_bytes as f64 / sparse_dense.metadata_bytes.max(1) as f64;
+        if sparse_adaptive.metadata_bytes * 4 <= sparse_dense.metadata_bytes {
+            println!(
+                "memory_budget: ok (sparse workload: adaptive={} dense={} ratio={ratio:.3})",
+                sparse_adaptive.metadata_bytes, sparse_dense.metadata_bytes
+            );
+        } else {
+            eprintln!(
+                "memory_budget: FAIL (sparse workload: adaptive={} dense={} ratio={ratio:.3} \
+                 exceeds the 25% budget)",
+                sparse_adaptive.metadata_bytes, sparse_dense.metadata_bytes
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let store_desc = store.as_ref().map_or_else(
+        || "disabled".to_string(),
+        |s| format!("{} ({} entries)", s.dir().display(), s.entry_count()),
+    );
+    eprintln!(
+        "runner[dramcache_gb]: units={} hits={hits} sims={sims} skipped=0 resumed=0 \
+         interrupted=0 failed=0 quarantined=[] corrupt={} wall={:.1}s store={store_desc}",
+        hits + sims,
+        store.as_ref().map_or(0, ResultStore::corrupt_count),
+        start.elapsed().as_secs_f64()
+    );
+}

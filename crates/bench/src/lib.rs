@@ -24,7 +24,8 @@ pub use crate::runner::{
     interrupted, shard_of, AloneIpcCache, RunUnit, Runner, UnitFailure, UnitFault,
 };
 pub use crate::store::{
-    fingerprint_hash, unit_fingerprint, unit_key, ResultStore, StoreKey, STORE_SCHEMA_VERSION,
+    fingerprint_hash, scenario_key, unit_fingerprint, unit_key, ResultStore, StoreKey,
+    STORE_SCHEMA_VERSION,
 };
 
 use system_sim::{Mechanism, SystemConfig};

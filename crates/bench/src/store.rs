@@ -30,9 +30,16 @@ use trace_gen::Benchmark;
 /// v3: every entry carries a trailing FNV-1a checksum line, so corruption
 /// is detected byte-for-byte instead of only when a field fails to parse
 /// (a flipped digit inside a counter parses fine under v2).
-pub const STORE_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: the workspace's dirty metadata moved onto the unified adaptive
+/// `DirtyContainer` storage and the store gained scenario blob entries
+/// (`.blob` files, see [`ResultStore::save_blob`]). The container change
+/// is behaviour-neutral by design, but v4 entries were produced by code
+/// that no longer exists; recompute rather than trust the overlap.
+pub const STORE_SCHEMA_VERSION: u32 = 5;
 
 const ENTRY_MAGIC: &str = "dbi-bench-result";
+const BLOB_MAGIC: &str = "dbi-bench-blob";
 
 /// The content address of one simulation unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +196,21 @@ pub fn unit_key(config: &SystemConfig, benchmarks: &[Benchmark]) -> StoreKey {
     }
 }
 
+/// The content address of a named scenario blob: experiments that do not
+/// run the cycle-level simulator (e.g. `dramcache_gb`, which drives the
+/// GB-scale DRAM cache directly) cache their measured records under a
+/// fingerprint spelling out the scenario name and every parameter the run
+/// depends on, plus the schema version — the same staleness discipline as
+/// [`unit_key`].
+#[must_use]
+pub fn scenario_key(name: &str, params: &str) -> StoreKey {
+    let fingerprint = format!("schema={STORE_SCHEMA_VERSION} scenario={name} {params}");
+    StoreKey {
+        hash: fnv1a(fingerprint.as_bytes()),
+        fingerprint,
+    }
+}
+
 /// The store hash of a fingerprint string — what an entry's file name must
 /// equal. Shard merging uses this to verify that an entry sits under the
 /// name its content demands.
@@ -270,6 +292,49 @@ impl ResultStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Path of the scenario blob for `key`.
+    ///
+    /// Blobs use their own extension so [`ResultStore::entry_count`] and
+    /// `merge_shards` (which verify `MixResult` grammar) never touch them.
+    #[must_use]
+    pub fn blob_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.blob", key.hash))
+    }
+
+    /// Loads the scenario blob payload stored under `key`, or `None` on
+    /// any miss — absent, truncated, corrupted, schema-mismatched, or
+    /// fingerprint-collided blobs all recompute, exactly like entries.
+    #[must_use]
+    pub fn load_blob(&self, key: &StoreKey) -> Option<String> {
+        let text = std::fs::read_to_string(self.blob_path(key)).ok()?;
+        let payload = deserialize_blob(&text, key);
+        if payload.is_none() {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+        }
+        payload
+    }
+
+    /// Serializes an opaque scenario `payload` under `key` with the entry
+    /// discipline: embedded fingerprint, trailing FNV-1a checksum, temp
+    /// file plus atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat them as non-fatal (the result
+    /// is still in hand, only the cache write is lost).
+    pub fn save_blob(&self, key: &StoreKey, payload: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".tmpb-{:016x}-{}", key.hash, std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serialize_blob(key, payload).as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.blob_path(key))
     }
 
     /// Path of the mid-run checkpoint file for `key`.
@@ -603,4 +668,122 @@ fn parse_u64s(s: &str, n: usize) -> Option<Vec<u64>> {
         .map(|v| v.parse::<u64>().ok())
         .collect::<Option<Vec<u64>>>()?;
     (vals.len() == n).then_some(vals)
+}
+
+/// Blob framing: magic + schema, fingerprint, an explicit byte count, the
+/// raw payload, then the checksum over everything before the checksum
+/// line. The byte count makes the format safe for payloads that themselves
+/// contain lines like `checksum ...` — the parser never scans the payload.
+fn serialize_blob(key: &StoreKey, payload: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{BLOB_MAGIC} v{STORE_SCHEMA_VERSION}\n"));
+    out.push_str(&format!("fingerprint {}\n", key.fingerprint));
+    out.push_str(&format!("bytes {}\n", payload.len()));
+    out.push_str(payload);
+    out.push_str(&format!("checksum {:016x}\n", fnv1a(out.as_bytes())));
+    out.push_str("end\n");
+    out
+}
+
+/// Strict blob parser: any deviation — bad magic or schema, fingerprint
+/// mismatch, wrong byte count, checksum mismatch, trailing junk — returns
+/// `None` (a miss).
+fn deserialize_blob(text: &str, key: &StoreKey) -> Option<String> {
+    let rest = text.strip_suffix("end\n")?;
+    let (header, after) = rest.split_once('\n')?;
+    if header != format!("{BLOB_MAGIC} v{STORE_SCHEMA_VERSION}") {
+        return None;
+    }
+    let (fp_line, after) = after.split_once('\n')?;
+    if fp_line.strip_prefix("fingerprint ")? != key.fingerprint {
+        return None;
+    }
+    let (bytes_line, after) = after.split_once('\n')?;
+    let n: usize = bytes_line.strip_prefix("bytes ")?.parse().ok()?;
+    let payload = after.get(..n)?;
+    let sum_line = after.get(n..)?;
+    let sum_hex = sum_line.strip_prefix("checksum ")?.strip_suffix('\n')?;
+    let body = &rest[..rest.len() - sum_line.len()];
+    if u64::from_str_radix(sum_hex, 16).ok()? != fnv1a(body.as_bytes()) {
+        return None;
+    }
+    Some(payload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scratch {
+        dir: PathBuf,
+    }
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!(
+                "dbi-store-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch { dir }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    #[test]
+    fn scenario_key_spells_schema_name_and_params() {
+        let key = scenario_key("dramcache_gb", "wl=hot policy=adaptive");
+        assert_eq!(
+            key.fingerprint,
+            format!("schema={STORE_SCHEMA_VERSION} scenario=dramcache_gb wl=hot policy=adaptive")
+        );
+        assert_eq!(key.hash, fingerprint_hash(&key.fingerprint));
+        // Any parameter change must change the address.
+        assert_ne!(
+            key.hash,
+            scenario_key("dramcache_gb", "wl=hot policy=dense").hash
+        );
+    }
+
+    #[test]
+    fn blob_round_trips_awkward_payloads() {
+        let s = Scratch::new("blob-rt");
+        let store = ResultStore::open(s.dir.clone());
+        let key = scenario_key("t", "p=1");
+        // No trailing newline, and payload lines that mimic the framing.
+        let payload = "rows 3\nchecksum feedface\nend";
+        assert!(store.load_blob(&key).is_none());
+        store.save_blob(&key, payload).unwrap();
+        assert_eq!(store.load_blob(&key).as_deref(), Some(payload));
+        assert_eq!(store.corrupt_count(), 0);
+        // Blobs are invisible to the entry census.
+        assert_eq!(store.entry_count(), 0);
+    }
+
+    #[test]
+    fn blob_misses_on_corruption_and_wrong_key() {
+        let s = Scratch::new("blob-bad");
+        let store = ResultStore::open(s.dir.clone());
+        let key = scenario_key("t", "p=1");
+        store.save_blob(&key, "value 42\n").unwrap();
+        // A different key must never be served this blob, even if the
+        // file is copied under its name (fingerprint mismatch).
+        let other = scenario_key("t", "p=2");
+        std::fs::copy(store.blob_path(&key), store.blob_path(&other)).unwrap();
+        assert!(store.load_blob(&other).is_none());
+        assert_eq!(store.corrupt_count(), 1);
+        // Flip one payload byte: the checksum catches it.
+        let mut bytes = std::fs::read(store.blob_path(&key)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(store.blob_path(&key), &bytes).unwrap();
+        assert!(store.load_blob(&key).is_none());
+        assert_eq!(store.corrupt_count(), 2);
+    }
 }

@@ -14,6 +14,8 @@
 use std::error::Error;
 use std::fmt;
 
+use dbi::DirtyWords;
+
 use crate::{BlockAddr, ThreadId};
 
 /// Geometry of a [`Cache`].
@@ -342,6 +344,12 @@ const INVALID: Line = Line {
 const RRPV_MAX: i64 = 3;
 const RRPV_LONG: i64 = 2;
 
+/// Bit index of `(set, way)` in the slot-per-word [`DirtyWords`] layout.
+#[inline]
+fn slot_bit(set: usize, way: usize) -> u64 {
+    (set * 64 + way) as u64
+}
+
 /// The word-level dirty/rank index maintained beside the tag array.
 ///
 /// The replacement metadata in [`Line::meta`] stays the ground truth for
@@ -353,10 +361,11 @@ const RRPV_LONG: i64 = 2;
 /// population counts instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct DirtyRankIndex {
-    /// Per-set validity word: bit `w` = way `w` holds a valid line.
-    valid: Vec<u64>,
-    /// Per-set dirty word: bit `w` = way `w` holds a valid, dirty line.
-    dirty: Vec<u64>,
+    /// Per-set validity words (bit `set * 64 + w` = way `w` of `set` holds
+    /// a valid line), on the workspace-wide [`DirtyWords`] storage.
+    valid: DirtyWords,
+    /// Per-set dirty words, same layout: bit set ⇔ valid *and* dirty.
+    dirty: DirtyWords,
     /// Per-line recency rank (LRU only; empty under RRIP).
     rank: Vec<u8>,
     /// Per-set way-at-rank permutation (LRU only; empty under RRIP):
@@ -373,8 +382,8 @@ impl DirtyRankIndex {
     fn new(config: &CacheConfig) -> DirtyRankIndex {
         let sets = config.sets() as usize;
         DirtyRankIndex {
-            valid: vec![0; sets],
-            dirty: vec![0; sets],
+            valid: DirtyWords::per_word_slots(sets),
+            dirty: DirtyWords::per_word_slots(sets),
             rank: match config.replacement {
                 ReplacementKind::Lru => vec![0; config.blocks() as usize],
                 ReplacementKind::Rrip => Vec::new(),
@@ -491,15 +500,14 @@ impl Cache {
     fn index_remove(&mut self, i: usize) {
         let ways = self.config.ways;
         let (set, way) = (i / ways, i % ways);
-        let bit = 1u64 << way;
-        self.index.valid[set] &= !bit;
-        self.index.dirty[set] &= !bit;
+        self.index.valid.clear(slot_bit(set, way));
+        self.index.dirty.clear(slot_bit(set, way));
         match self.config.replacement {
             ReplacementKind::Lru => {
                 // Every line that was more protected moves one rank down.
                 let base = set * ways;
                 let r = usize::from(self.index.rank[i]);
-                let remaining = self.index.valid[set].count_ones() as usize;
+                let remaining = self.index.valid.word(set).count_ones() as usize;
                 for pos in r..remaining {
                     let w = usize::from(self.index.lru_stack[base + pos + 1]);
                     self.index.lru_stack[base + pos] = w as u8;
@@ -517,11 +525,10 @@ impl Cache {
     fn index_place(&mut self, i: usize, pos: InsertPos) {
         let ways = self.config.ways;
         let (set, way) = (i / ways, i % ways);
-        let bit = 1u64 << way;
         match self.config.replacement {
             ReplacementKind::Lru => {
                 let base = set * ways;
-                let n = self.index.valid[set].count_ones() as usize;
+                let n = self.index.valid.word(set).count_ones() as usize;
                 match pos {
                     // Newer than everything resident: top rank.
                     InsertPos::Mru => {
@@ -544,12 +551,10 @@ impl Cache {
                 self.index.rrpv_cnt[set][self.lines[i].meta as usize] += 1;
             }
         }
-        self.index.valid[set] |= bit;
-        if self.lines[i].dirty {
-            self.index.dirty[set] |= bit;
-        } else {
-            self.index.dirty[set] &= !bit;
-        }
+        self.index.valid.set(slot_bit(set, way));
+        self.index
+            .dirty
+            .assign(slot_bit(set, way), self.lines[i].dirty);
     }
 
     /// Index update: the valid line at `i` was promoted to MRU (LRU only).
@@ -560,7 +565,7 @@ impl Cache {
         let set = i / ways;
         let base = set * ways;
         let r = usize::from(self.index.rank[i]);
-        let n = self.index.valid[set].count_ones() as usize;
+        let n = self.index.valid.word(set).count_ones() as usize;
         for pos in r..n - 1 {
             let w = usize::from(self.index.lru_stack[base + pos + 1]);
             self.index.lru_stack[base + pos] = w as u8;
@@ -610,7 +615,7 @@ impl Cache {
             self.lines[i].dirty |= dirty;
             if dirty {
                 let ways = self.config.ways;
-                self.index.dirty[i / ways] |= 1 << (i % ways);
+                self.index.dirty.set(slot_bit(i / ways, i % ways));
             }
             return None;
         }
@@ -709,12 +714,7 @@ impl Cache {
             Some(i) => {
                 self.lines[i].dirty = dirty;
                 let ways = self.config.ways;
-                let bit = 1u64 << (i % ways);
-                if dirty {
-                    self.index.dirty[i / ways] |= bit;
-                } else {
-                    self.index.dirty[i / ways] &= !bit;
-                }
+                self.index.dirty.assign(slot_bit(i / ways, i % ways), dirty);
                 true
             }
             None => false,
@@ -746,11 +746,7 @@ impl Cache {
     /// Number of resident blocks.
     #[must_use]
     pub fn resident(&self) -> u64 {
-        self.index
-            .valid
-            .iter()
-            .map(|w| u64::from(w.count_ones()))
-            .sum()
+        self.index.valid.count_ones()
     }
 
     /// Event counters since construction or the last
@@ -786,8 +782,8 @@ impl Cache {
                     }
                 }
             }
-            self.index.valid[set] = valid;
-            self.index.dirty[set] = dirty;
+            self.index.valid.set_word(set, valid);
+            self.index.dirty.set_word(set, dirty);
             match self.config.replacement {
                 ReplacementKind::Lru => {
                     // rank = number of valid lines with an older timestamp;
@@ -846,7 +842,8 @@ impl Cache {
         match self.config.replacement {
             ReplacementKind::Lru => {
                 let ways = self.config.ways;
-                for (set, &valid) in reference.index.valid.iter().enumerate() {
+                for set in 0..self.config.sets() as usize {
+                    let valid = reference.index.valid.word(set);
                     for way in WayIter(valid) {
                         assert_eq!(
                             reference.index.rank[set * ways + way],
@@ -892,7 +889,7 @@ impl<'a> DirtyView<'a> {
     pub fn is_dirty(&self, block: BlockAddr) -> Option<bool> {
         let i = self.cache.find(block)?;
         let ways = self.cache.config.ways;
-        Some(self.cache.index.dirty[i / ways] >> (i % ways) & 1 == 1)
+        Some(self.cache.index.dirty.get(slot_bit(i / ways, i % ways)))
     }
 
     /// Dirty bit, owning thread, and recency rank of `block` from a single
@@ -916,7 +913,7 @@ impl<'a> DirtyView<'a> {
     /// Panics if `set` is out of range.
     #[must_use]
     pub fn mask(&self, set: SetIdx) -> WayMask {
-        WayMask(self.cache.index.dirty[set.index()])
+        WayMask(self.cache.index.dirty.word(set.index()))
     }
 
     /// The dirty ways of `set` whose recency rank is below `ways_from_lru`
@@ -929,7 +926,7 @@ impl<'a> DirtyView<'a> {
     /// Panics if `set` is out of range.
     #[must_use]
     pub fn in_lru_ways(&self, set: SetIdx, ways_from_lru: usize) -> WayMask {
-        let dirty = self.cache.index.dirty[set.index()];
+        let dirty = self.cache.index.dirty.word(set.index());
         if dirty == 0 {
             return WayMask::EMPTY;
         }
@@ -938,7 +935,7 @@ impl<'a> DirtyView<'a> {
             ReplacementKind::Lru => {
                 // Walk the bottom of the recency stack instead of rank-
                 // checking every dirty way: `ways_from_lru` byte reads.
-                let n = self.cache.index.valid[set.index()].count_ones() as usize;
+                let n = self.cache.index.valid.word(set.index()).count_ones() as usize;
                 if ways_from_lru >= n {
                     return WayMask(dirty);
                 }

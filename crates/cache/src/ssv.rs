@@ -9,11 +9,14 @@
 //! lookups vs. DAWB's 1.95× — Section 6.1) because the bit is conservative
 //! and the sweep re-probes sets repeatedly.
 
+use dbi::DirtyWords;
+
 use crate::{BlockAddr, Cache, SetIdx};
 
 /// A one-bit-per-set summary: "does this set hold dirty blocks among its
-/// `tracked_ways` least-recently-used ways?" — stored as a packed `u64`
-/// bitmap, matching the word-level dirty index it is refreshed from.
+/// `tracked_ways` least-recently-used ways?" — stored as a packed
+/// [`DirtyWords`] bitmap, the same word-level storage the dirty index it is
+/// refreshed from uses.
 ///
 /// The vector is a *hint* maintained beside the cache; [`refresh`] recomputes
 /// a set's bit from the cache's ground truth, which is how the hardware's
@@ -22,8 +25,7 @@ use crate::{BlockAddr, Cache, SetIdx};
 /// [`refresh`]: SetStateVector::refresh
 #[derive(Debug, Clone)]
 pub struct SetStateVector {
-    words: Vec<u64>,
-    sets: u64,
+    words: DirtyWords,
     tracked_ways: usize,
 }
 
@@ -39,8 +41,7 @@ impl SetStateVector {
         assert!(sets > 0, "SSV needs at least one set");
         assert!(tracked_ways > 0, "SSV must track at least one way");
         SetStateVector {
-            words: vec![0; sets.div_ceil(64) as usize],
-            sets,
+            words: DirtyWords::new(sets),
             tracked_ways,
         }
     }
@@ -58,8 +59,8 @@ impl SetStateVector {
     /// Panics if `set` is out of range.
     #[must_use]
     pub fn is_marked(&self, set: SetIdx) -> bool {
-        assert!(set.raw() < self.sets, "set {set} out of SSV range");
-        self.words[set.index() / 64] >> (set.index() % 64) & 1 == 1
+        assert!(set.raw() < self.words.bits(), "set {set} out of SSV range");
+        self.words.get(set.raw())
     }
 
     /// Recomputes the bit for the set containing `probe` from the cache's
@@ -68,45 +69,27 @@ impl SetStateVector {
         let set = cache.set_of(probe);
         // One word load in the clean-set common case; never the heap.
         let marked = !cache.dirty().in_lru_ways(set, self.tracked_ways).is_empty();
-        let bit = 1u64 << (set.index() % 64);
-        if marked {
-            self.words[set.index() / 64] |= bit;
-        } else {
-            self.words[set.index() / 64] &= !bit;
-        }
+        self.words.assign(set.raw(), marked);
         marked
     }
 
     /// Number of currently marked sets (for reporting).
     #[must_use]
     pub fn marked_count(&self) -> u64 {
-        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+        self.words.count_ones()
     }
 }
 
 impl dbi::snap::Snapshot for SetStateVector {
     fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
         w.usize(self.tracked_ways);
-        w.u64(self.sets);
-        w.u64s(&self.words);
+        self.words.snapshot(w);
     }
 
     fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
-        use dbi::snap::SnapError;
         r.expect_len("SSV tracked ways", self.tracked_ways)?;
-        r.expect_u64("SSV sets", self.sets)?;
-        r.fill_u64s("SSV words", &mut self.words)?;
-        // Bits past the last set are unaddressable and must stay zero.
-        let tail_bits = (self.sets % 64) as u32;
-        if tail_bits != 0 {
-            let last = *self.words.last().expect("at least one word");
-            if last >> tail_bits != 0 {
-                return Err(SnapError::Corrupt(
-                    "SSV padding bits beyond the last set are set".into(),
-                ));
-            }
-        }
-        Ok(())
+        // DirtyWords::restore rejects set bits past the last set.
+        self.words.restore(r)
     }
 }
 
@@ -178,9 +161,9 @@ mod tests {
     #[test]
     fn restore_rejects_padding_bits() {
         let mut w = dbi::snap::SnapWriter::new();
-        w.usize(2);
-        w.u64(4);
-        w.u64s(&[0b1_0000]); // bit 4 = set 4: past the last set
+        w.usize(2); // tracked ways
+        w.usize(4); // DirtyWords logical bits
+        w.u64(0b1_0000); // bit 4 = set 4: past the last set
         let bytes = w.finish();
         let mut target = SetStateVector::new(4, 2);
         assert!(matches!(

@@ -1,16 +1,16 @@
 //! The Dirty-Block Index structure.
 
-use crate::bitvec::DirtyVec;
 use crate::config::DbiConfig;
+use crate::container::DirtyContainer;
 use crate::replacement::PolicyState;
 use crate::stats::DbiStats;
 use crate::{BlockAddr, RowId};
 
-/// One valid DBI entry: the row it covers and the row's dirty bit vector.
+/// One valid DBI entry: the row it covers and the row's dirty container.
 #[derive(Debug, Clone)]
 struct Entry {
     row: RowId,
-    bits: DirtyVec,
+    bits: DirtyContainer,
 }
 
 /// One set of the set-associative DBI.
@@ -46,12 +46,6 @@ impl EvictedRow {
     pub fn blocks(&self) -> &[BlockAddr] {
         &self.blocks
     }
-
-    /// Consumes the eviction, returning the writeback list.
-    #[must_use]
-    pub fn into_blocks(self) -> Vec<BlockAddr> {
-        self.blocks
-    }
 }
 
 /// Result of [`Dbi::mark_dirty`].
@@ -85,6 +79,9 @@ pub struct Dbi {
     sets: Vec<Set>,
     dirty_blocks: u64,
     stats: DbiStats,
+    /// Reused by [`flush_each`](Dbi::flush_each) so whole-index flushes
+    /// allocate nothing after the first call. Not part of snapshot state.
+    flush_scratch: Vec<(RowId, u32, u32)>,
 }
 
 impl Dbi {
@@ -102,6 +99,7 @@ impl Dbi {
             sets,
             dirty_blocks: 0,
             stats: DbiStats::default(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -182,6 +180,7 @@ impl Dbi {
 
         // Row miss: install a new entry, evicting if the set is full.
         let granularity = self.config.granularity();
+        let container = self.config.container();
         let Set { ways, policy } = &mut self.sets[set_idx];
         let (way, evicted) = match ways.iter().position(Option::is_none) {
             Some(free) => (free, None),
@@ -194,7 +193,7 @@ impl Dbi {
             }
         };
 
-        let mut bits = DirtyVec::new(granularity);
+        let mut bits = DirtyContainer::new(granularity, container);
         bits.set(offset);
         ways[way] = Some(Entry { row, bits });
         policy.on_insert(way);
@@ -289,27 +288,34 @@ impl Dbi {
         Some(EvictedRow { row, blocks })
     }
 
-    /// Flushes the whole index, returning every dirty block grouped by row
-    /// (each inner list ascending) — a whole-cache flush needs exactly this.
-    pub fn flush_all(&mut self) -> Vec<EvictedRow> {
+    /// Flushes the whole index, invoking `sink` once per dirty block — rows
+    /// in ascending order, blocks ascending within each row, exactly the
+    /// order a whole-cache flush wants to drain writebacks in. Unlike a
+    /// collected result, the visitor allocates nothing per call (an internal
+    /// scratch list is reused across flushes).
+    pub fn flush_each(&mut self, mut sink: impl FnMut(RowId, BlockAddr)) {
         let granularity = self.config.granularity() as u64;
-        let mut rows = Vec::new();
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                if let Some(entry) = way.take() {
-                    let base = entry.row * granularity;
-                    let blocks: Vec<BlockAddr> =
-                        entry.bits.iter_ones().map(|o| base + o as u64).collect();
-                    rows.push(EvictedRow {
-                        row: entry.row,
-                        blocks,
-                    });
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        scratch.clear();
+        for (si, set) in self.sets.iter().enumerate() {
+            for (wi, way) in set.ways.iter().enumerate() {
+                if let Some(entry) = way {
+                    scratch.push((entry.row, si as u32, wi as u32));
                 }
             }
         }
+        scratch.sort_unstable_by_key(|&(row, ..)| row);
+        for &(row, si, wi) in &scratch {
+            let entry = self.sets[si as usize].ways[wi as usize]
+                .take()
+                .expect("scratch points at a valid entry");
+            let base = row * granularity;
+            for offset in entry.bits.iter_ones() {
+                sink(row, base + offset as u64);
+            }
+        }
         self.dirty_blocks = 0;
-        rows.sort_by_key(|r| r.row);
-        rows
+        self.flush_scratch = scratch;
     }
 
     /// Iterates over every dirty block currently tracked, in no particular
@@ -350,6 +356,18 @@ impl Dbi {
     #[must_use]
     pub fn dirty_count(&self) -> u64 {
         self.dirty_blocks
+    }
+
+    /// Modeled metadata bytes of all valid entries' dirty containers (see
+    /// [`DirtyContainer::metadata_bytes`]) — the quantity the GB-scale
+    /// DRAM-cache figure compares across container policies.
+    #[must_use]
+    pub fn metadata_bytes(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter().flatten())
+            .map(|e| e.bits.metadata_bytes() as u64)
+            .sum()
     }
 
     /// Number of valid entries.
@@ -454,6 +472,7 @@ impl crate::snap::Snapshot for Dbi {
         use crate::snap::SnapError;
         r.expect_len("DBI sets", self.sets.len())?;
         let granularity = self.config.granularity();
+        let container = self.config.container();
         let n_sets = self.sets.len() as u64;
         let mut total = 0u64;
         for (si, set) in self.sets.iter_mut().enumerate() {
@@ -466,7 +485,7 @@ impl crate::snap::Snapshot for Dbi {
                             "DBI entry for row {row} restored into set {si}"
                         )));
                     }
-                    let mut bits = DirtyVec::new(granularity);
+                    let mut bits = DirtyContainer::new(granularity, container);
                     bits.restore(r)?;
                     if bits.is_empty() {
                         return Err(SnapError::Corrupt(format!(
@@ -587,12 +606,29 @@ mod tests {
         assert!(dbi.flush_row(10).is_none());
 
         dbi.mark_dirty(50);
-        let all = dbi.flush_all();
-        let blocks: Vec<u64> = all.iter().flat_map(|r| r.blocks().to_vec()).collect();
-        assert_eq!(blocks, vec![3, 50]);
+        let mut flushed: Vec<(u64, u64)> = Vec::new();
+        dbi.flush_each(|row, block| flushed.push((row, block)));
+        assert_eq!(flushed, vec![(0, 3), (6, 50)]);
         assert_eq!(dbi.dirty_count(), 0);
         assert_eq!(dbi.valid_entries(), 0);
         dbi.assert_invariants();
+    }
+
+    #[test]
+    fn flush_each_orders_rows_and_blocks_ascending() {
+        let mut dbi = small();
+        // Rows 6, 1, 3 (inserted out of order), several blocks each.
+        for &b in &[50u64, 48, 9, 11, 30, 25] {
+            dbi.mark_dirty(b);
+        }
+        let mut flushed: Vec<(u64, u64)> = Vec::new();
+        dbi.flush_each(|row, block| flushed.push((row, block)));
+        assert_eq!(
+            flushed,
+            vec![(1, 9), (1, 11), (3, 25), (3, 30), (6, 48), (6, 50)]
+        );
+        // A second flush of the (now empty) index visits nothing.
+        dbi.flush_each(|_, _| panic!("index is empty"));
     }
 
     #[test]
@@ -640,7 +676,6 @@ mod tests {
         let out = dbi.mark_dirty(8 * 8);
         let evicted = out.evicted.unwrap();
         assert_eq!(evicted.blocks(), &[0, 3, 7]);
-        assert_eq!(evicted.clone().into_blocks(), vec![0, 3, 7]);
     }
 
     #[test]

@@ -43,18 +43,22 @@
 //! # }
 //! ```
 
-mod bitvec;
 mod config;
+mod container;
 mod dbi;
+mod dirty_store;
 mod metadata;
 mod replacement;
 pub mod snap;
 mod stats;
 mod subblock;
 
-pub use crate::bitvec::{DirtyVec, MAX_BITS};
 pub use crate::config::{Alpha, DbiConfig, DbiConfigError};
+pub use crate::container::{
+    ContainerPolicy, DirtyContainer, DirtyWords, Ones, ReprKind, WordOnes, MAX_BITS,
+};
 pub use crate::dbi::{Dbi, EvictedRow, MarkOutcome};
+pub use crate::dirty_store::{DirtyStore, ReprCensus};
 pub use crate::metadata::{MetaDbi, MetaMarkOutcome};
 pub use crate::replacement::{DbiReplacementPolicy, BIP_EPSILON_RECIPROCAL};
 pub use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};

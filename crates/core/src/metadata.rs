@@ -120,14 +120,13 @@ impl<M> MetaDbi<M> {
     /// Flushes everything, returning each dirty block with its metadata,
     /// grouped by row in ascending order.
     pub fn flush_all(&mut self) -> Vec<(BlockAddr, M)> {
-        let rows = self.dbi.flush_all();
-        rows.iter()
-            .flat_map(|r| r.blocks().iter().copied())
-            .map(|b| {
-                let m = self.meta.remove(&b).expect("dirty block has metadata");
-                (b, m)
-            })
-            .collect()
+        let MetaDbi { dbi, meta } = self;
+        let mut out = Vec::with_capacity(meta.len());
+        dbi.flush_each(|_row, block| {
+            let m = meta.remove(&block).expect("dirty block has metadata");
+            out.push((block, m));
+        });
+        out
     }
 
     /// Number of dirty (metadata-carrying) blocks.

@@ -1,0 +1,151 @@
+//! Property-based tests for the adaptive dirty container.
+//!
+//! The container may freely migrate between dense words, sorted sparse
+//! lists, and run-length runs; whatever representation it picks, it must
+//! behave exactly like a plain `Vec<bool>` reference model, and every
+//! representation must survive a snapshot roundtrip bit-for-bit.
+
+use dbi::snap::{SnapReader, SnapWriter, Snapshot};
+use dbi::{ContainerPolicy, DirtyContainer, ReprKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize),
+    Clear(usize),
+    ClearAll,
+}
+
+fn op_strategy(space: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..space).prop_map(Op::Set),
+        4 => (0..space).prop_map(Op::Clear),
+        1 => Just(Op::ClearAll),
+    ]
+}
+
+/// Streaming-flavoured ops: runs of consecutive sets/clears so the RLE
+/// representation and its promotion/demotion boundaries actually get
+/// exercised (uniform random ops almost never produce long runs).
+fn run_op_strategy(space: usize) -> impl Strategy<Value = Vec<Op>> {
+    (0..space, 1..64usize, any::<bool>()).prop_map(move |(start, run, set)| {
+        (0..run)
+            .filter_map(|i| {
+                let bit = start.checked_add(i).filter(|&b| b < space)?;
+                Some(if set { Op::Set(bit) } else { Op::Clear(bit) })
+            })
+            .collect()
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = ContainerPolicy> {
+    prop::sample::select(ContainerPolicy::ALL.to_vec())
+}
+
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 7, 64, 65, 128, 512])
+}
+
+fn check_against_model(container: &DirtyContainer, model: &[bool]) -> Result<(), TestCaseError> {
+    let expect_count = model.iter().filter(|&&b| b).count();
+    prop_assert_eq!(container.count(), expect_count);
+    prop_assert_eq!(container.is_empty(), expect_count == 0);
+    for (bit, &set) in model.iter().enumerate() {
+        prop_assert_eq!(container.get(bit), set, "bit {} disagrees", bit);
+    }
+    let ones: Vec<usize> = container.iter_ones().collect();
+    let expect: Vec<usize> = model
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect();
+    prop_assert_eq!(ones, expect);
+    Ok(())
+}
+
+proptest! {
+    /// Under any mix of random and streaming mutations, every policy's
+    /// container agrees exactly with a `Vec<bool>` reference model — the
+    /// representation switches are invisible to observers.
+    #[test]
+    fn container_agrees_with_bool_model(
+        len in len_strategy(),
+        policy in policy_strategy(),
+        batches in prop::collection::vec(
+            prop_oneof![
+                3 => prop::collection::vec(op_strategy(512), 1..40),
+                1 => run_op_strategy(512),
+            ],
+            1..12,
+        ),
+    ) {
+        let mut container = DirtyContainer::new(len, policy);
+        let mut model = vec![false; len];
+        for batch in batches {
+            for op in batch {
+                match op {
+                    Op::Set(bit) => {
+                        let bit = bit % len;
+                        prop_assert_eq!(container.set(bit), !model[bit]);
+                        model[bit] = true;
+                    }
+                    Op::Clear(bit) => {
+                        let bit = bit % len;
+                        prop_assert_eq!(container.clear(bit), model[bit]);
+                        model[bit] = false;
+                    }
+                    Op::ClearAll => {
+                        container.clear_all();
+                        model.fill(false);
+                    }
+                }
+                match policy {
+                    ContainerPolicy::DenseOnly => {
+                        prop_assert_eq!(container.repr_kind(), ReprKind::Dense);
+                    }
+                    ContainerPolicy::SparseOnly => {
+                        prop_assert_eq!(container.repr_kind(), ReprKind::Sparse);
+                    }
+                    ContainerPolicy::Adaptive => {}
+                }
+            }
+            check_against_model(&container, &model)?;
+        }
+    }
+
+    /// Snapshot/restore reproduces the container exactly — same bits, same
+    /// representation, same modeled metadata bytes — from whatever state a
+    /// random history left it in.
+    #[test]
+    fn container_snapshot_roundtrips_any_state(
+        len in len_strategy(),
+        policy in policy_strategy(),
+        ops in prop::collection::vec(op_strategy(512), 0..120),
+    ) {
+        let mut container = DirtyContainer::new(len, policy);
+        for op in ops {
+            match op {
+                Op::Set(bit) => {
+                    container.set(bit % len);
+                }
+                Op::Clear(bit) => {
+                    container.clear(bit % len);
+                }
+                Op::ClearAll => container.clear_all(),
+            }
+        }
+        let mut w = SnapWriter::new();
+        container.snapshot(&mut w);
+        let bytes = w.finish();
+        let mut restored = DirtyContainer::new(len, policy);
+        let mut r = SnapReader::new(&bytes).expect("checksum");
+        restored.restore(&mut r).expect("roundtrip");
+        r.finish().expect("fully consumed");
+        prop_assert_eq!(&restored, &container);
+        prop_assert_eq!(restored.repr_kind(), container.repr_kind());
+        prop_assert_eq!(restored.metadata_bytes(), container.metadata_bytes());
+        let ones_a: Vec<usize> = container.iter_ones().collect();
+        let ones_b: Vec<usize> = restored.iter_ones().collect();
+        prop_assert_eq!(ones_a, ones_b);
+    }
+}

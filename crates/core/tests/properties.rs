@@ -103,10 +103,10 @@ proptest! {
         }
     }
 
-    /// flush_all returns every dirty block exactly once, grouped by row,
-    /// and leaves the index empty.
+    /// flush_each visits every dirty block exactly once — rows ascending,
+    /// blocks ascending within each row — and leaves the index empty.
     #[test]
-    fn flush_all_is_exhaustive(
+    fn flush_each_is_exhaustive(
         marks in prop::collection::btree_set(0u64..1024, 0..200),
     ) {
         let config = DbiConfig::new(4096, Alpha::ONE, 32, 8, DbiReplacementPolicy::Lrw)
@@ -120,17 +120,19 @@ proptest! {
                 live.remove(&wb);
             }
         }
-        let rows = dbi.flush_all();
-        let mut flushed: Vec<u64> = rows.iter().flat_map(|r| r.blocks().to_vec()).collect();
-        flushed.sort_unstable();
+        let mut flushed: Vec<(u64, u64)> = Vec::new();
+        dbi.flush_each(|row, block| flushed.push((row, block)));
+        // Visit order is globally sorted: (row, block) pairs ascending.
+        let mut sorted = flushed.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&flushed, &sorted, "flush order must be ascending");
         let expect: Vec<u64> = live.into_iter().collect();
-        prop_assert_eq!(flushed, expect);
+        let blocks: Vec<u64> = flushed.iter().map(|&(_, b)| b).collect();
+        prop_assert_eq!(blocks, expect);
         prop_assert_eq!(dbi.dirty_count(), 0);
         prop_assert_eq!(dbi.valid_entries(), 0);
-        for r in &rows {
-            for &b in r.blocks() {
-                prop_assert_eq!(dbi.row_of(b), r.row());
-            }
+        for &(row, b) in &flushed {
+            prop_assert_eq!(dbi.row_of(b), row);
         }
     }
 

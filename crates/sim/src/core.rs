@@ -370,11 +370,10 @@ impl CoreEngine {
             self.l2_writeback(b, llc, dram, checker.as_deref_mut());
         }
         if let Some(dbi) = &mut self.l2_dbi {
-            for row in dbi.flush_all() {
-                for &b in row.blocks() {
-                    llc.writeback(b, self.thread, self.cycle, dram, checker.as_deref_mut());
-                }
-            }
+            let (thread, cycle) = (self.thread, self.cycle);
+            dbi.flush_each(|_row, b| {
+                llc.writeback(b, thread, cycle, dram, checker.as_deref_mut());
+            });
             return;
         }
         let l2_dirty: Vec<u64> = self

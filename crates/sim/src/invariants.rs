@@ -35,13 +35,18 @@ use std::collections::HashSet;
 
 use cache_sim::ssv::SetStateVector;
 use cache_sim::{Cache, SetIdx};
-use dbi::Dbi;
+use dbi::{ContainerPolicy, Dbi, DirtyStore};
 
 use crate::faults::FaultRecord;
 
 /// Violation details kept verbatim in the report (further violations are
 /// only counted).
 const MAX_DETAILS: usize = 16;
+
+/// Row granularity of the shadow dirty-set. The shadow tracks whatever the
+/// workload dirties, so it uses the same adaptive containers the mechanisms
+/// use — dense for hot rows, index lists for scattered blocks.
+const SHADOW_GRANULARITY: usize = 64;
 
 /// Which invariant a violation broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,7 +153,7 @@ pub struct Sanitizer {
     /// Blocks the LLC currently owes to DRAM: marked when a writeback
     /// arrives from the level above, cleared when the block's data
     /// actually reaches the memory controller.
-    shadow_dirty: HashSet<u64>,
+    shadow_dirty: DirtyStore,
     /// Mirror of the SSV refresh stream (VWQ only).
     shadow_ssv: Option<Vec<bool>>,
     /// Dedup: `(kind, target)` pairs already reported.
@@ -164,7 +169,7 @@ impl Sanitizer {
     #[must_use]
     pub fn new(ssv_sets: Option<u64>) -> Sanitizer {
         Sanitizer {
-            shadow_dirty: HashSet::new(),
+            shadow_dirty: DirtyStore::new(SHADOW_GRANULARITY, ContainerPolicy::Adaptive),
             shadow_ssv: ssv_sets.map(|sets| vec![false; sets as usize]),
             seen: HashSet::new(),
             violations: Vec::new(),
@@ -190,17 +195,17 @@ impl Sanitizer {
     /// Hook: a writeback of `block` arrived at the LLC — the hierarchy now
     /// owes this block's data to DRAM.
     pub fn note_dirtied(&mut self, block: u64) {
-        self.shadow_dirty.insert(block);
+        self.shadow_dirty.mark(block);
     }
 
     /// Hook: `block`'s data actually reached the memory controller.
     pub fn note_written_back(&mut self, block: u64) {
-        self.shadow_dirty.remove(&block);
+        self.shadow_dirty.clear(block);
     }
 
     /// Hook: a lookup of `block` is about to bypass the tag store.
     pub fn check_bypass(&mut self, block: u64) {
-        if self.shadow_dirty.contains(&block) {
+        if self.shadow_dirty.is_dirty(block) {
             self.record(InvariantKind::DirtyBypass, block, || {
                 "lookup bypassed a block the shadow knows is dirty".to_string()
             });
@@ -267,7 +272,8 @@ impl Sanitizer {
                 .collect(),
         };
 
-        for &block in &self.shadow_dirty.clone() {
+        let shadow_blocks: Vec<u64> = self.shadow_dirty.blocks().collect();
+        for block in shadow_blocks {
             if !mechanism_dirty.contains(&block) {
                 self.record(InvariantKind::DirtyCoherence, block, || {
                     "shadow-dirty block lost: mechanism no longer tracks it".to_string()
@@ -275,7 +281,7 @@ impl Sanitizer {
             }
         }
         for &block in &mechanism_dirty {
-            if !self.shadow_dirty.contains(&block) {
+            if !self.shadow_dirty.is_dirty(block) {
                 self.record(InvariantKind::DirtyCoherence, block, || {
                     "mechanism-dirty block the shadow never saw dirtied".to_string()
                 });
@@ -304,7 +310,7 @@ impl Sanitizer {
             scans: self.scans,
             total_violations: self.total_violations,
             violations: self.violations.clone(),
-            shadow_dirty_blocks: self.shadow_dirty.len() as u64,
+            shadow_dirty_blocks: self.shadow_dirty.dirty_count(),
             fault,
         }
     }
@@ -337,13 +343,8 @@ impl InvariantKind {
 
 impl dbi::snap::Snapshot for Sanitizer {
     fn snapshot(&self, w: &mut dbi::snap::SnapWriter) {
-        // Hash sets iterate nondeterministically; sort for stable bytes.
-        let mut dirty: Vec<u64> = self.shadow_dirty.iter().copied().collect();
-        dirty.sort_unstable();
-        w.usize(dirty.len());
-        for b in dirty {
-            w.u64(b);
-        }
+        // DirtyStore iteration is deterministic: stable bytes for free.
+        self.shadow_dirty.snapshot(w);
         match &self.shadow_ssv {
             Some(bits) => {
                 w.bool(true);
@@ -373,16 +374,7 @@ impl dbi::snap::Snapshot for Sanitizer {
 
     fn restore(&mut self, r: &mut dbi::snap::SnapReader<'_>) -> Result<(), dbi::snap::SnapError> {
         use dbi::snap::SnapError;
-        let n = r.usize()?;
-        self.shadow_dirty.clear();
-        for _ in 0..n {
-            let b = r.u64()?;
-            if !self.shadow_dirty.insert(b) {
-                return Err(SnapError::Corrupt(format!(
-                    "duplicate shadow-dirty block {b}"
-                )));
-            }
-        }
+        self.shadow_dirty.restore(r)?;
         r.expect_bool("sanitizer SSV mirror", self.shadow_ssv.is_some())?;
         if let Some(bits) = &mut self.shadow_ssv {
             r.expect_len("sanitizer SSV sets", bits.len())?;

@@ -661,15 +661,13 @@ impl SharedLlc {
     ) -> u64 {
         let mut written = 0;
         if let Some(dbi) = &mut self.dbi {
-            for row in dbi.flush_all() {
-                for &b in row.blocks() {
-                    dram.enqueue_write(b, now);
-                    if let Some(c) = checker.as_deref_mut() {
-                        c.record_dram_write(b);
-                    }
-                    written += 1;
+            dbi.flush_each(|_row, b| {
+                dram.enqueue_write(b, now);
+                if let Some(c) = checker.as_deref_mut() {
+                    c.record_dram_write(b);
                 }
-            }
+                written += 1;
+            });
         } else {
             let dirty: Vec<u64> = self
                 .cache

@@ -44,12 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // dirty blocks, already grouped by DRAM row — the ideal writeback
     // order — instead of a brute-force walk over all 32 Ki tag entries.
     // ------------------------------------------------------------------
-    let rows = dbi.flush_all();
-    let total: usize = rows.iter().map(|r| r.blocks().len()).sum();
+    let mut total = 0usize;
+    let mut bursts = 0usize;
+    let mut last_row = None;
+    dbi.flush_each(|row, _block| {
+        total += 1;
+        if last_row != Some(row) {
+            bursts += 1;
+            last_row = Some(row);
+        }
+    });
     println!(
-        "full flush: {total} writebacks in {} row bursts (visited {} DBI entries, not {} tag entries)",
-        rows.len(),
-        rows.len(),
+        "full flush: {total} writebacks in {bursts} row bursts (visited {bursts} DBI entries, not {} tag entries)",
         32 * 1024,
     );
     assert_eq!(dbi.dirty_count(), 0);

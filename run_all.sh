@@ -26,6 +26,7 @@ BINARIES=(
     ablation_l2_dbi
     ablation_channels
     ablation_bankgroups
+    dramcache_gb
     workload_report
 )
 for bin in "${BINARIES[@]}"; do
