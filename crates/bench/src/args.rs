@@ -14,6 +14,7 @@ use std::path::PathBuf;
 
 use system_sim::{FaultClass, FaultPlan, SystemConfig};
 
+use crate::failpoints::FailSpec;
 use crate::{workspace_root, Effort};
 
 /// Usage text printed on `--help` and on any parse error.
@@ -37,6 +38,14 @@ Common options for every dbi-bench experiment binary:
                       drop-writeback, flip-dbi-bit, skip-drain, or
                       stale-ssv (faulted units bypass the store)
     --fault-seed N    seed selecting the fault's firing point (default 1)
+    --io-fault SITE[:MODE]
+                      arm one deterministic I/O failpoint in the result
+                      store's write protocol; SITE is GROUP.STAGE (e.g.
+                      entry.rename, ckpt.sync, blob.write) and MODE is
+                      crash (default), torn, short, drop-sync, or eio.
+                      A firing crash exits the process with code 86.
+    --io-fault-seed N seed selecting which occurrence of the site fires
+                      and the torn/short cut point (default 1)
     --watchdog SECS   per-unit wall-clock limit: a unit exceeding it is
                       retried once, then quarantined (default 600,
                       0 disables the watchdog)
@@ -74,6 +83,10 @@ pub struct BenchArgs {
     pub fault: Option<FaultClass>,
     /// Seed selecting the fault's firing point (`--fault-seed N`).
     pub fault_seed: u64,
+    /// I/O failpoint to arm in the store's write protocol (`--io-fault`).
+    pub io_fault: Option<FailSpec>,
+    /// Seed for the failpoint's firing occurrence (`--io-fault-seed N`).
+    pub io_fault_seed: u64,
     /// Per-unit wall-clock limit in seconds; 0 disables (`--watchdog`).
     pub watchdog_secs: u64,
     /// Target wall-clock time between checkpoints (`--checkpoint-secs`).
@@ -98,6 +111,8 @@ impl Default for BenchArgs {
             check: false,
             fault: None,
             fault_seed: 1,
+            io_fault: None,
+            io_fault_seed: 1,
             watchdog_secs: 600,
             checkpoint_target: None,
             shard: None,
@@ -189,6 +204,16 @@ impl BenchArgs {
                     args.fault_seed = v
                         .parse()
                         .map_err(|_| format!("--fault-seed needs an integer, got '{v}'"))?;
+                }
+                "--io-fault" => {
+                    let v = value("--io-fault")?;
+                    args.io_fault = Some(FailSpec::parse(&v)?);
+                }
+                "--io-fault-seed" => {
+                    let v = value("--io-fault-seed")?;
+                    args.io_fault_seed = v
+                        .parse()
+                        .map_err(|_| format!("--io-fault-seed needs an integer, got '{v}'"))?;
                 }
                 "--watchdog" => {
                     let v = value("--watchdog")?;
@@ -360,6 +385,36 @@ mod tests {
         assert!(BenchArgs::try_parse(&argv(&["--fault", "melt-cpu"]), &[])
             .unwrap_err()
             .contains("unknown fault class"));
+    }
+
+    #[test]
+    fn io_fault_flags_parse() {
+        use crate::failpoints::{FailMode, Group, Site, Stage};
+        let (args, _) = BenchArgs::try_parse(&[], &[]).unwrap();
+        assert_eq!(args.io_fault, None);
+        assert_eq!(args.io_fault_seed, 1);
+        let (args, _) = BenchArgs::try_parse(
+            &argv(&["--io-fault", "ckpt.rename", "--io-fault-seed", "7"]),
+            &[],
+        )
+        .unwrap();
+        let spec = args.io_fault.unwrap();
+        assert_eq!(spec.site, Site::new(Group::Ckpt, Stage::Rename));
+        assert_eq!(spec.mode, FailMode::Crash);
+        assert_eq!(args.io_fault_seed, 7);
+        let (args, _) =
+            BenchArgs::try_parse(&argv(&["--io-fault", "entry.write:torn"]), &[]).unwrap();
+        assert_eq!(args.io_fault.unwrap().mode, FailMode::Torn);
+        assert!(
+            BenchArgs::try_parse(&argv(&["--io-fault", "entry.rename:torn"]), &[])
+                .unwrap_err()
+                .contains("does not apply")
+        );
+        assert!(
+            BenchArgs::try_parse(&argv(&["--io-fault", "floppy.write"]), &[])
+                .unwrap_err()
+                .contains("unknown failpoint site")
+        );
     }
 
     #[test]

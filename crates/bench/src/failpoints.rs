@@ -1,0 +1,554 @@
+//! Deterministic, seedable I/O failpoints for the persistence layer.
+//!
+//! The in-simulation fault injector (`system_sim`'s `--fault`) proves the
+//! invariant sanitizer can detect metadata corruption produced on demand.
+//! This module is the same discipline applied to the on-disk half of the
+//! harness: every persistence chokepoint — store entries, scenario blobs,
+//! checkpoints, leases, merge outputs — runs its atomic-write protocol
+//! through indexed *failpoint sites* that can be armed to misbehave in
+//! controlled, reproducible ways:
+//!
+//! - **torn write** (`torn`): a seed-selected prefix of the payload
+//!   reaches the temp file, then the process dies;
+//! - **short write** (`short`): a silently truncated payload that still
+//!   gets renamed into place — the visible outcome of a dropped page
+//!   writeback after the rename was already durable;
+//! - **dropped fsync** (`drop-sync`): `sync_all` silently skipped;
+//! - **crash** (`crash`): the process dies immediately before the
+//!   stage's action (an in-protocol `kill -9`);
+//! - **transient EIO** (`eio`): the stage's action fails once with an
+//!   I/O error that propagates to the caller.
+//!
+//! Arm a failpoint from the command line with `--io-fault SITE[:MODE]
+//! --io-fault-seed N`, mirroring the `--fault`/`--fault-seed` UX: the
+//! seed deterministically selects the firing occurrence of the site and,
+//! for torn/short writes, the cut point, so every injected run is exactly
+//! reproducible. Each armed plan fires exactly once. When no plan is
+//! armed the whole layer costs one relaxed atomic load per site — the
+//! persistence path is otherwise unchanged.
+//!
+//! Crash-flavored firings have two styles. From the CLI
+//! ([`CrashStyle::ExitProcess`]) the process exits with
+//! [`CRASH_EXIT_CODE`] at the fire point, leaving exactly the on-disk
+//! state a real kill would — CI's crash-consistency smoke uses this.
+//! Tests install plans with [`CrashStyle::Error`] instead, which aborts
+//! only the current store operation (same on-disk state, process
+//! survives), so one process can crash and recover at every registered
+//! site in sequence — the recovery-matrix test.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use system_sim::splitmix64;
+
+/// Exit code of a CLI-armed crash failpoint: distinct from a panic (101)
+/// and the runner's `128 + signal` exits, so CI can assert that a run
+/// died *at the failpoint* and not for some other reason.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// One persistence chokepoint group — one instance of the atomic-write
+/// protocol (or, for leases, the advisory plain write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// `ResultStore::save` — `.entry` files.
+    Entry,
+    /// `ResultStore::save_blob` — `.blob` scenario files.
+    Blob,
+    /// `ResultStore::save_checkpoint` — `.ckpt` mid-run snapshots.
+    Ckpt,
+    /// `ResultStore::write_lease` — `.lease` heartbeat files.
+    Lease,
+    /// `merge_shards` writing verified entries into the output store.
+    Merge,
+}
+
+impl Group {
+    /// Every group, in documentation order.
+    pub const ALL: [Group; 5] = [
+        Group::Entry,
+        Group::Blob,
+        Group::Ckpt,
+        Group::Lease,
+        Group::Merge,
+    ];
+
+    /// The command-line spelling of this group.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Entry => "entry",
+            Group::Blob => "blob",
+            Group::Ckpt => "ckpt",
+            Group::Lease => "lease",
+            Group::Merge => "merge",
+        }
+    }
+}
+
+/// One stage of the atomic-write protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Writing the payload into the temp file.
+    Write,
+    /// `sync_all` on the temp file.
+    Sync,
+    /// The rename of the temp file onto its final name.
+    Rename,
+    /// `sync_all` on the parent directory (making the rename durable).
+    DirSync,
+}
+
+impl Stage {
+    /// Every stage, in protocol order.
+    pub const ALL: [Stage; 4] = [Stage::Write, Stage::Sync, Stage::Rename, Stage::DirSync];
+
+    /// The command-line spelling of this stage.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Write => "write",
+            Stage::Sync => "sync",
+            Stage::Rename => "rename",
+            Stage::DirSync => "dirsync",
+        }
+    }
+}
+
+/// A failpoint site: one stage of one group's protocol, spelled
+/// `group.stage` (e.g. `entry.rename`, `ckpt.write`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// The persistence chokepoint.
+    pub group: Group,
+    /// The protocol stage within it.
+    pub stage: Stage,
+}
+
+impl Site {
+    /// The site at `stage` of `group`'s protocol.
+    #[must_use]
+    pub fn new(group: Group, stage: Stage) -> Site {
+        Site { group, stage }
+    }
+
+    /// Parses a `group.stage` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid spellings.
+    pub fn parse(s: &str) -> Result<Site, String> {
+        all_sites()
+            .into_iter()
+            .find(|site| site.to_string() == s)
+            .ok_or_else(|| {
+                let valid: Vec<String> = all_sites().iter().map(Site::to_string).collect();
+                format!("unknown failpoint site '{s}' (valid: {})", valid.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.group.label(), self.stage.label())
+    }
+}
+
+/// Every registered failpoint site — the set the recovery matrix
+/// enumerates. Leases are plain advisory writes, so they expose only
+/// their `write` stage; every atomic-write group exposes all four.
+#[must_use]
+pub fn all_sites() -> Vec<Site> {
+    let mut sites = Vec::new();
+    for group in Group::ALL {
+        if group == Group::Lease {
+            sites.push(Site::new(group, Stage::Write));
+        } else {
+            for stage in Stage::ALL {
+                sites.push(Site::new(group, stage));
+            }
+        }
+    }
+    sites
+}
+
+/// How an armed failpoint misbehaves when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailMode {
+    /// Write a prefix of the payload, then crash (write stage only).
+    Torn,
+    /// Write a prefix of the payload and *continue* — the protocol
+    /// completes over silently truncated data (write stage only).
+    Short,
+    /// Skip the `sync_all` silently (sync/dirsync stages only).
+    DropSync,
+    /// Crash immediately before the stage's action.
+    Crash,
+    /// The stage's action fails once with a transient I/O error.
+    Eio,
+}
+
+impl FailMode {
+    /// Every mode, in documentation order.
+    pub const ALL: [FailMode; 5] = [
+        FailMode::Torn,
+        FailMode::Short,
+        FailMode::DropSync,
+        FailMode::Crash,
+        FailMode::Eio,
+    ];
+
+    /// The command-line spelling of this mode.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FailMode::Torn => "torn",
+            FailMode::Short => "short",
+            FailMode::DropSync => "drop-sync",
+            FailMode::Crash => "crash",
+            FailMode::Eio => "eio",
+        }
+    }
+
+    /// Whether this mode is meaningful at `stage`: truncation needs a
+    /// payload (write), a dropped fsync needs an fsync (sync/dirsync),
+    /// crash and EIO apply everywhere.
+    #[must_use]
+    pub fn applies_at(self, stage: Stage) -> bool {
+        match self {
+            FailMode::Torn | FailMode::Short => stage == Stage::Write,
+            FailMode::DropSync => matches!(stage, Stage::Sync | Stage::DirSync),
+            FailMode::Crash | FailMode::Eio => true,
+        }
+    }
+}
+
+impl std::fmt::Display for FailMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The modes injectable at `site` — the recovery matrix crosses
+/// [`all_sites`] with this.
+#[must_use]
+pub fn modes_for(site: Site) -> Vec<FailMode> {
+    FailMode::ALL
+        .into_iter()
+        .filter(|m| m.applies_at(site.stage))
+        .collect()
+}
+
+/// A parsed `--io-fault` value: which site misbehaves, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailSpec {
+    /// The armed site.
+    pub site: Site,
+    /// The injected misbehaviour.
+    pub mode: FailMode,
+}
+
+impl FailSpec {
+    /// Parses a `SITE[:MODE]` spelling; the mode defaults to `crash`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the invalid site, the invalid mode, or a
+    /// mode/stage mismatch (e.g. `entry.rename:torn` — only writes tear).
+    pub fn parse(s: &str) -> Result<FailSpec, String> {
+        let (site_str, mode_str) = match s.split_once(':') {
+            Some((site, mode)) => (site, Some(mode)),
+            None => (s, None),
+        };
+        let site = Site::parse(site_str)?;
+        let mode = match mode_str {
+            None => FailMode::Crash,
+            Some(m) => FailMode::ALL
+                .into_iter()
+                .find(|mode| mode.label() == m)
+                .ok_or_else(|| {
+                    let valid: Vec<&str> = FailMode::ALL.iter().map(|m| m.label()).collect();
+                    format!("unknown failpoint mode '{m}' (valid: {})", valid.join(", "))
+                })?,
+        };
+        if !mode.applies_at(site.stage) {
+            return Err(format!(
+                "failpoint mode '{mode}' does not apply at site '{site}' \
+                 (torn/short need a write, drop-sync needs an fsync)"
+            ));
+        }
+        Ok(FailSpec { site, mode })
+    }
+}
+
+impl std::fmt::Display for FailSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.site, self.mode)
+    }
+}
+
+/// What a crash-flavored firing does to the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// Exit the process with [`CRASH_EXIT_CODE`] — a real mid-protocol
+    /// kill, for CLI use and CI smokes.
+    ExitProcess,
+    /// Abort only the current store operation with an I/O error, leaving
+    /// the same on-disk state — for in-process recovery tests.
+    Error,
+}
+
+/// An armed failpoint: the spec, the seed selecting its firing point,
+/// and the crash style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailPlan {
+    /// Which site fails, and how.
+    pub spec: FailSpec,
+    /// Seed selecting the firing occurrence and torn/short cut point.
+    pub seed: u64,
+    /// What a crash-flavored firing does to the process.
+    pub style: CrashStyle,
+    /// Explicit 1-based firing occurrence (tests); `None` derives it
+    /// from the seed.
+    pub fire_at: Option<u64>,
+}
+
+impl FailPlan {
+    /// A CLI-style plan: crash firings exit the process.
+    #[must_use]
+    pub fn new(spec: FailSpec, seed: u64) -> FailPlan {
+        FailPlan {
+            spec,
+            seed,
+            style: CrashStyle::ExitProcess,
+            fire_at: None,
+        }
+    }
+
+    /// Overrides the crash style (tests use [`CrashStyle::Error`]).
+    #[must_use]
+    pub fn with_style(mut self, style: CrashStyle) -> FailPlan {
+        self.style = style;
+        self
+    }
+
+    /// Pins the 1-based firing occurrence (tests fire on the first).
+    #[must_use]
+    pub fn with_fire_at(mut self, occurrence: u64) -> FailPlan {
+        self.fire_at = Some(occurrence.max(1));
+        self
+    }
+}
+
+/// Salt separating the cut-point stream from the occurrence stream.
+const CUT_SALT: u64 = 0x746f_726e_2d63_7574; // "torn-cut"
+
+#[derive(Debug)]
+struct Active {
+    spec: FailSpec,
+    /// 1-based occurrence of the site the plan fires on.
+    fire_at: u64,
+    /// Occurrences of the armed site seen so far.
+    seen: u64,
+    /// Seed stream for torn/short cut points.
+    cut_seed: u64,
+    style: CrashStyle,
+    fired: bool,
+}
+
+/// Fast gate: one relaxed load decides "no failpoints armed" without
+/// touching the mutex, so the disabled persistence path is unchanged.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Active>> = Mutex::new(None);
+
+/// Arms `plan` process-wide (replacing any armed plan). The plan fires
+/// exactly once, on the seed-selected (or pinned) occurrence of its site.
+pub fn install(plan: FailPlan) {
+    let fire_at = plan
+        .fire_at
+        .unwrap_or_else(|| 1 + splitmix64(plan.seed) % 4);
+    *PLAN.lock().expect("failpoint plan lock") = Some(Active {
+        spec: plan.spec,
+        fire_at,
+        seen: 0,
+        cut_seed: splitmix64(plan.seed ^ CUT_SALT),
+        style: plan.style,
+        fired: false,
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms any armed plan.
+pub fn clear() {
+    ARMED.store(false, Ordering::Release);
+    *PLAN.lock().expect("failpoint plan lock") = None;
+}
+
+/// The spec that fired, if an armed plan has fired.
+#[must_use]
+pub fn fired() -> Option<FailSpec> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    PLAN.lock()
+        .expect("failpoint plan lock")
+        .as_ref()
+        .filter(|a| a.fired)
+        .map(|a| a.spec)
+}
+
+/// The decision the persistence helper must apply at a site it just
+/// reached. `None` = behave normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fire {
+    /// Write only the first `keep` bytes, then crash.
+    Torn { keep: usize },
+    /// Write only the first `keep` bytes and continue the protocol.
+    Short { keep: usize },
+    /// Skip the fsync silently.
+    DropSync,
+    /// Crash before the stage's action.
+    Crash,
+    /// Fail the stage's action with a transient I/O error.
+    Eio,
+}
+
+/// Consults the armed plan at `site`; `payload_len` sizes torn/short
+/// cuts. Counts one occurrence of the site and fires at most once per
+/// installed plan.
+pub(crate) fn fire(site: Site, payload_len: usize) -> Option<Fire> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut guard = PLAN.lock().expect("failpoint plan lock");
+    let active = guard.as_mut()?;
+    if active.fired || active.spec.site != site {
+        return None;
+    }
+    active.seen += 1;
+    if active.seen < active.fire_at {
+        return None;
+    }
+    active.fired = true;
+    // Cut strictly inside the payload so torn/short runs really truncate.
+    let keep = if payload_len == 0 {
+        0
+    } else {
+        usize::try_from(splitmix64(active.cut_seed) % payload_len as u64)
+            .expect("cut index fits usize")
+    };
+    eprintln!(
+        "io-fault: firing {} (occurrence {})",
+        active.spec, active.seen
+    );
+    Some(match active.spec.mode {
+        FailMode::Torn => Fire::Torn { keep },
+        FailMode::Short => Fire::Short { keep },
+        FailMode::DropSync => Fire::DropSync,
+        FailMode::Crash => Fire::Crash,
+        FailMode::Eio => Fire::Eio,
+    })
+}
+
+/// Applies the armed plan's crash style at `site`: exits the process
+/// ([`CrashStyle::ExitProcess`]) or returns the error the aborted store
+/// operation propagates ([`CrashStyle::Error`]).
+pub(crate) fn crash(site: Site) -> std::io::Error {
+    let style = PLAN
+        .lock()
+        .expect("failpoint plan lock")
+        .as_ref()
+        .map_or(CrashStyle::Error, |a| a.style);
+    if style == CrashStyle::ExitProcess {
+        eprintln!("io-fault: simulated crash at {site}; exiting {CRASH_EXIT_CODE}");
+        std::process::exit(CRASH_EXIT_CODE);
+    }
+    std::io::Error::other(format!("io-fault: simulated crash at {site}"))
+}
+
+/// The transient-EIO error injected at `site`.
+pub(crate) fn eio(site: Site) -> std::io::Error {
+    std::io::Error::other(format!("io-fault: transient EIO at {site}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_enumerates_all_protocol_sites() {
+        let sites = all_sites();
+        // Four full protocols x four stages, plus the lease write.
+        assert_eq!(sites.len(), 17);
+        for site in &sites {
+            assert_eq!(Site::parse(&site.to_string()), Ok(*site));
+            assert!(!modes_for(*site).is_empty());
+        }
+        assert!(Site::parse("entry.fsyncgate").is_err());
+    }
+
+    #[test]
+    fn specs_parse_and_validate_mode_stage_pairs() {
+        let spec = FailSpec::parse("entry.rename:crash").unwrap();
+        assert_eq!(spec.site, Site::new(Group::Entry, Stage::Rename));
+        assert_eq!(spec.mode, FailMode::Crash);
+        // Default mode is crash.
+        assert_eq!(FailSpec::parse("ckpt.write").unwrap().mode, FailMode::Crash);
+        assert_eq!(
+            FailSpec::parse("blob.write:torn").unwrap().mode,
+            FailMode::Torn
+        );
+        assert!(FailSpec::parse("entry.rename:torn")
+            .unwrap_err()
+            .contains("does not apply"));
+        assert!(FailSpec::parse("entry.write:melt")
+            .unwrap_err()
+            .contains("unknown failpoint mode"));
+        assert!(FailSpec::parse("floppy.write:torn")
+            .unwrap_err()
+            .contains("unknown failpoint site"));
+    }
+
+    #[test]
+    fn plans_fire_once_at_the_selected_occurrence() {
+        let spec = FailSpec::parse("lease.write:eio").unwrap();
+        install(
+            FailPlan::new(spec, 0)
+                .with_style(CrashStyle::Error)
+                .with_fire_at(3),
+        );
+        let site = spec.site;
+        assert_eq!(fire(site, 10), None);
+        assert_eq!(fire(Site::new(Group::Entry, Stage::Write), 10), None);
+        assert_eq!(fire(site, 10), None);
+        assert_eq!(fire(site, 10), Some(Fire::Eio));
+        assert_eq!(fired(), Some(spec));
+        // One-shot: never fires again.
+        assert_eq!(fire(site, 10), None);
+        clear();
+        assert_eq!(fired(), None);
+        assert_eq!(fire(site, 10), None);
+    }
+
+    #[test]
+    fn torn_cut_is_deterministic_and_inside_the_payload() {
+        let spec = FailSpec::parse("entry.write:torn").unwrap();
+        let cut = |seed| {
+            install(
+                FailPlan::new(spec, seed)
+                    .with_style(CrashStyle::Error)
+                    .with_fire_at(1),
+            );
+            let fire = fire(spec.site, 100);
+            clear();
+            match fire {
+                Some(Fire::Torn { keep }) => keep,
+                other => panic!("expected a torn fire, got {other:?}"),
+            }
+        };
+        for seed in 0..32 {
+            let keep = cut(seed);
+            assert!(keep < 100, "cut must truncate (keep={keep})");
+            assert_eq!(keep, cut(seed), "same seed, same cut");
+        }
+    }
+}

@@ -22,6 +22,8 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::failpoints::Group;
+use crate::persist;
 use crate::store::{deserialize_any, fingerprint_hash};
 
 /// Outcome of merging shard stores.
@@ -137,7 +139,9 @@ pub fn merge_shards(
     }
     std::fs::create_dir_all(out_dir)?;
     for (&hash, (text, _)) in &seen {
-        std::fs::write(out_dir.join(format!("{hash:016x}.entry")), text)?;
+        let tmp = out_dir.join(format!(".tmpm-{hash:016x}-{}", std::process::id()));
+        let dst = out_dir.join(format!("{hash:016x}.entry"));
+        persist::write_atomic(Group::Merge, out_dir, &tmp, &dst, text.as_bytes())?;
         report.merged.push(hash);
     }
     if let Some(manifest) = manifest {

@@ -70,12 +70,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use system_sim::{
-    run_mix, CheckpointCadence, CoreResult, FaultPlan, Mechanism, MixResult, RunOutcome, System,
-    SystemConfig,
+    run_mix, splitmix64, CheckpointCadence, CoreResult, FaultPlan, Mechanism, MixResult,
+    RunOutcome, System, SystemConfig,
 };
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
+use crate::failpoints::{self, FailPlan as IoFailPlan};
 use crate::store::{unit_key, ResultStore, StoreKey};
 use crate::{listing, parallel_map_jobs, BenchArgs};
 
@@ -88,6 +89,11 @@ pub const DEFAULT_CHECKPOINT_TARGET: Duration = Duration::from_secs(5);
 /// frequent enough (milliseconds at realistic speeds) that the measured
 /// interval barely overshoots the target.
 const CHECKPOINT_PROBE_RECORDS: u64 = 8192;
+
+/// How stale a `.tmp-*` temp file must be before runner startup collects
+/// it as an orphan. Generous: a live concurrent shard's atomic write
+/// holds its temp name for milliseconds, crashed runs forever.
+const TMP_ORPHAN_AGE: Duration = Duration::from_secs(900);
 
 /// The last fatal signal received (SIGINT=2 / SIGTERM=15); 0 when none.
 static INTERRUPT_SIGNAL: AtomicI32 = AtomicI32::new(0);
@@ -121,14 +127,6 @@ fn install_signal_handlers() {
 
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
-
-/// SplitMix64 — a tiny deterministic bit mixer for backoff jitter.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
 
 /// `base` scaled by a deterministic jitter in [1, 2): workers racing for
 /// the same unit spread out instead of stampeding, while the same salt
@@ -416,9 +414,19 @@ impl Runner {
     pub fn new(name: &str, args: &BenchArgs) -> Runner {
         install_signal_handlers();
         crate::set_listing(args.list_units);
+        if let Some(spec) = args.io_fault {
+            failpoints::install(IoFailPlan::new(spec, args.io_fault_seed));
+        }
+        let store = args.store_dir().map(ResultStore::open);
+        if let Some(store) = &store {
+            // Collect temp files orphaned by crashed earlier runs. The age
+            // guard protects the in-flight writes of live concurrent
+            // shards (a healthy atomic write lives milliseconds).
+            store.scavenge(TMP_ORPHAN_AGE);
+        }
         Runner {
             name: name.to_string(),
-            store: args.store_dir().map(ResultStore::open),
+            store,
             jobs: args.jobs,
             check: args.check,
             fault: args.fault_plan(),
@@ -938,10 +946,11 @@ impl Runner {
             .collect::<Vec<_>>()
             .join(",");
         let corrupt = self.store.as_ref().map_or(0, ResultStore::corrupt_count);
+        let tmp_gc = self.store.as_ref().map_or(0, ResultStore::orphans_removed);
         eprintln!(
             "runner[{}]: units={} hits={} sims={} skipped={} resumed={} interrupted={} \
              sim_wall={} unit_mean={} unit_max={} failed={} quarantined=[{quarantined}] \
-             corrupt={corrupt} wall={} store={}",
+             corrupt={corrupt} tmp_gc={tmp_gc} wall={} store={}",
             self.name,
             self.hits() + sims + self.skipped() + failures.len() as u64,
             self.hits(),

@@ -13,15 +13,22 @@
 //! never serve the wrong result), and a trailing `end` marker. Anything
 //! that fails to parse — a truncated write, a corrupted file, a
 //! fingerprint mismatch — is treated as a miss and recomputed; writes go
-//! through a temporary file plus atomic rename so concurrent processes
-//! never observe partial entries.
+//! through the atomic-write protocol (temp file, fsync, rename, parent
+//! directory fsync — see the `persist` module) so concurrent processes
+//! never observe partial entries and a completed save survives a crash.
+//! Orphaned temp files left by crashed writers are garbage-collected by
+//! [`ResultStore::scavenge`] (the runner calls it on startup) and by the
+//! `store_scrub` binary, which also validates and quarantines entries.
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use system_sim::{CoreResult, MixResult, SystemConfig};
 use trace_gen::Benchmark;
+
+use crate::failpoints::Group;
+use crate::persist;
 
 /// Bump whenever the fingerprint grammar or the entry serialization
 /// changes: old entries then miss (their embedded fingerprint no longer
@@ -227,6 +234,21 @@ pub struct ResultStore {
     /// is silently recomputed, but the count is surfaced in runner
     /// summaries so store rot is visible instead of just slow.
     corrupt: AtomicU64,
+    /// Orphaned temp files removed by [`ResultStore::scavenge`], surfaced
+    /// in runner summaries alongside the entry count.
+    orphans: AtomicU64,
+}
+
+/// Temp-file name prefixes of the atomic-write protocol: entry, blob,
+/// checkpoint, and merge writers respectively. Final files never start
+/// with a dot, so anything matching these is in-flight — or, once its
+/// writer has died, an orphan.
+const TMP_PREFIXES: [&str; 4] = [".tmp-", ".tmpb-", ".ckpt-", ".tmpm-"];
+
+/// Whether `name` is a temp file of the atomic-write protocol.
+#[must_use]
+pub fn is_tmp_name(name: &str) -> bool {
+    TMP_PREFIXES.iter().any(|p| name.starts_with(p))
 }
 
 impl ResultStore {
@@ -237,7 +259,45 @@ impl ResultStore {
         ResultStore {
             dir,
             corrupt: AtomicU64::new(0),
+            orphans: AtomicU64::new(0),
         }
+    }
+
+    /// Garbage-collects orphaned temp files (`.tmp-*`, `.tmpb-*`,
+    /// `.ckpt-*`, `.tmpm-*`) left behind by crashed writers, which would
+    /// otherwise accumulate forever. Only files whose mtime is at least
+    /// `older_than` old are touched: a *live* writer's temp file exists
+    /// for milliseconds, so anything old is a corpse. Returns the number
+    /// removed (also accumulated for [`ResultStore::orphans_removed`]).
+    pub fn scavenge(&self, older_than: Duration) -> u64 {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in rd.filter_map(Result::ok) {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !is_tmp_name(name) {
+                continue;
+            }
+            let old = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .map(|m| m.elapsed().unwrap_or_default() >= older_than)
+                .unwrap_or(false);
+            if old && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        self.orphans.fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+
+    /// Orphaned temp files removed by [`ResultStore::scavenge`] over this
+    /// store handle's lifetime.
+    #[must_use]
+    pub fn orphans_removed(&self) -> u64 {
+        self.orphans.load(Ordering::Relaxed)
     }
 
     /// The store's directory.
@@ -275,23 +335,24 @@ impl ResultStore {
         self.corrupt.load(Ordering::Relaxed)
     }
 
-    /// Serializes `result` under `key` (atomically: temp file + rename).
+    /// Serializes `result` under `key` through the atomic-write protocol
+    /// (temp file, fsync, rename, directory fsync — see `persist`).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; callers treat them as non-fatal (the result
     /// is still in hand, only the cache write is lost).
     pub fn save(&self, key: &StoreKey, result: &MixResult) -> std::io::Result<()> {
-        std::fs::create_dir_all(&self.dir)?;
         let tmp = self
             .dir
             .join(format!(".tmp-{:016x}-{}", key.hash, std::process::id()));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(serialize(key, result).as_bytes())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, self.entry_path(key))
+        persist::write_atomic(
+            Group::Entry,
+            &self.dir,
+            &tmp,
+            &self.entry_path(key),
+            serialize(key, result).as_bytes(),
+        )
     }
 
     /// Path of the scenario blob for `key`.
@@ -325,16 +386,16 @@ impl ResultStore {
     /// Propagates I/O errors; callers treat them as non-fatal (the result
     /// is still in hand, only the cache write is lost).
     pub fn save_blob(&self, key: &StoreKey, payload: &str) -> std::io::Result<()> {
-        std::fs::create_dir_all(&self.dir)?;
         let tmp = self
             .dir
             .join(format!(".tmpb-{:016x}-{}", key.hash, std::process::id()));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(serialize_blob(key, payload).as_bytes())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, self.blob_path(key))
+        persist::write_atomic(
+            Group::Blob,
+            &self.dir,
+            &tmp,
+            &self.blob_path(key),
+            serialize_blob(key, payload).as_bytes(),
+        )
     }
 
     /// Path of the mid-run checkpoint file for `key`.
@@ -352,17 +413,19 @@ impl ResultStore {
     /// Propagates I/O errors; callers treat them as non-fatal (the run
     /// continues, only resumability up to this point is lost).
     pub fn save_checkpoint(&self, key: &StoreKey, payload: &[u8]) -> std::io::Result<()> {
-        std::fs::create_dir_all(&self.dir)?;
         let tmp = self
             .dir
             .join(format!(".ckpt-{:016x}-{}", key.hash, std::process::id()));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&key.hash.to_le_bytes())?;
-            f.write_all(payload)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, self.checkpoint_path(key))
+        let mut bytes = Vec::with_capacity(8 + payload.len());
+        bytes.extend_from_slice(&key.hash.to_le_bytes());
+        bytes.extend_from_slice(payload);
+        persist::write_atomic(
+            Group::Ckpt,
+            &self.dir,
+            &tmp,
+            &self.checkpoint_path(key),
+            &bytes,
+        )
     }
 
     /// Loads the checkpoint payload for `key`, or `None` when absent or
@@ -397,7 +460,7 @@ impl ResultStore {
     /// Propagates I/O errors; callers treat them as non-fatal.
     pub fn write_lease(&self, key: &StoreKey, owner: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.lease_path(key), owner)
+        persist::write_plain(Group::Lease, &self.lease_path(key), owner.as_bytes())
     }
 
     /// Age of the lease on `key` (time since its last heartbeat), or
@@ -689,15 +752,25 @@ fn serialize_blob(key: &StoreKey, payload: &str) -> String {
 /// mismatch, wrong byte count, checksum mismatch, trailing junk — returns
 /// `None` (a miss).
 fn deserialize_blob(text: &str, key: &StoreKey) -> Option<String> {
+    let (fingerprint, payload) = deserialize_blob_any(text)?;
+    (fingerprint == key.fingerprint).then_some(payload)
+}
+
+/// Parses a blob *without* knowing its key in advance, returning the
+/// embedded fingerprint alongside the payload — the `store_scrub` entry
+/// point, mirroring [`deserialize_any`] for `.entry` files.
+///
+/// Returns `None` on any framing deviation: bad magic or schema, wrong
+/// byte count, checksum mismatch, or trailing junk.
+#[must_use]
+pub fn deserialize_blob_any(text: &str) -> Option<(String, String)> {
     let rest = text.strip_suffix("end\n")?;
     let (header, after) = rest.split_once('\n')?;
     if header != format!("{BLOB_MAGIC} v{STORE_SCHEMA_VERSION}") {
         return None;
     }
     let (fp_line, after) = after.split_once('\n')?;
-    if fp_line.strip_prefix("fingerprint ")? != key.fingerprint {
-        return None;
-    }
+    let fingerprint = fp_line.strip_prefix("fingerprint ")?;
     let (bytes_line, after) = after.split_once('\n')?;
     let n: usize = bytes_line.strip_prefix("bytes ")?.parse().ok()?;
     let payload = after.get(..n)?;
@@ -707,7 +780,7 @@ fn deserialize_blob(text: &str, key: &StoreKey) -> Option<String> {
     if u64::from_str_radix(sum_hex, 16).ok()? != fnv1a(body.as_bytes()) {
         return None;
     }
-    Some(payload.to_string())
+    Some((fingerprint.to_string(), payload.to_string()))
 }
 
 #[cfg(test)]
@@ -764,6 +837,26 @@ mod tests {
         assert_eq!(store.corrupt_count(), 0);
         // Blobs are invisible to the entry census.
         assert_eq!(store.entry_count(), 0);
+    }
+
+    #[test]
+    fn scavenge_removes_only_old_tmp_files() {
+        let s = Scratch::new("scavenge");
+        let store = ResultStore::open(s.dir.clone());
+        std::fs::create_dir_all(&s.dir).unwrap();
+        for name in [".tmp-deadbeef-1", ".tmpb-deadbeef-2", ".ckpt-deadbeef-3"] {
+            std::fs::write(s.dir.join(name), "torn").unwrap();
+        }
+        let key = scenario_key("t", "p=1");
+        store.save_blob(&key, "payload\n").unwrap();
+        // Fresh temp files are a live writer's: a guarded pass spares them.
+        assert_eq!(store.scavenge(Duration::from_secs(3600)), 0);
+        // Old enough = a crashed writer's corpse: collected.
+        assert_eq!(store.scavenge(Duration::ZERO), 3);
+        assert_eq!(store.orphans_removed(), 3);
+        // Real store files are never touched.
+        assert_eq!(store.load_blob(&key).as_deref(), Some("payload\n"));
+        assert_eq!(store.scavenge(Duration::ZERO), 0);
     }
 
     #[test]

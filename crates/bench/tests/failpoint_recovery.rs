@@ -1,0 +1,238 @@
+//! The recovery matrix: crash the store at every registered failpoint
+//! site, in every applicable mode, and prove the store recovers.
+//!
+//! For each (site, mode) pair the scenario is: arm the failpoint with
+//! [`CrashStyle::Error`] (abort the store operation in-process, leaving
+//! exactly the on-disk state a mid-protocol kill would), perform the
+//! site's store operation, then
+//!
+//! 1. the operation's result matches the mode (torn/crash/eio fail,
+//!    short/drop-sync complete silently);
+//! 2. the failpoint actually fired (the registry names real code paths,
+//!    not aspirational ones);
+//! 3. a *fresh* store handle on the same directory never panics and
+//!    never serves a wrong value — every load is either a miss or
+//!    exactly the value whose write was attempted;
+//! 4. `scrub_store` removes the debris (orphaned temp files, corrupt
+//!    visible files into quarantine), after which every surviving data
+//!    file validates;
+//! 5. redoing the operation with failpoints disarmed heals the store,
+//!    and a final scrub finds nothing left to repair.
+//!
+//! Failpoints are process-global, so the whole matrix runs inside ONE
+//! `#[test]` in its own integration-test binary — the harness gives each
+//! test file its own process, and a single test body cannot race itself.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use dbi_bench::failpoints::{self, CrashStyle, FailMode, FailPlan, FailSpec, Group};
+use dbi_bench::store::{scenario_key, unit_key, ResultStore, StoreKey};
+use dbi_bench::{all_sites, merge_shards, modes_for, scrub_store, RunUnit, ScrubOptions};
+use system_sim::{run_mix, Mechanism, MixResult, SystemConfig};
+use trace_gen::Benchmark;
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("dbi-failpoint-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch { dir }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// One tiny simulated unit, computed once and shared by every scenario
+/// (the matrix tests persistence, not simulation).
+fn tiny() -> &'static (RunUnit, StoreKey, MixResult) {
+    static UNIT: OnceLock<(RunUnit, StoreKey, MixResult)> = OnceLock::new();
+    UNIT.get_or_init(|| {
+        let mut config = SystemConfig::for_cores(1, Mechanism::Baseline);
+        config.warmup_insts = 5_000;
+        config.measure_insts = 5_000;
+        let unit = RunUnit::alone(Benchmark::Mcf, config);
+        let key = unit_key(&unit.config, unit.mix.benchmarks());
+        let result = run_mix(&unit.mix, &unit.config);
+        (unit, key, result)
+    })
+}
+
+/// `MixResult` has no `PartialEq`; its `Debug` form covers every field.
+fn same_result(a: &MixResult, b: &MixResult) -> bool {
+    format!("{a:?}") == format!("{b:?}")
+}
+
+const BLOB_PAYLOAD: &str = "scenario payload line 1\nline 2\n";
+const LEASE_OWNER: &str = "matrix:1";
+
+fn ckpt_payload() -> Vec<u8> {
+    let mut w = dbi::snap::SnapWriter::new();
+    w.u64(0xfeed);
+    w.str("matrix checkpoint");
+    w.finish()
+}
+
+/// Performs the group's store operation against `dir` (for `Merge`,
+/// `shard` is the pre-populated input store).
+fn perform(group: Group, dir: &Path, shard: &Path) -> std::io::Result<()> {
+    let (_, key, result) = tiny();
+    let store = ResultStore::open(dir.to_path_buf());
+    match group {
+        Group::Entry => store.save(key, result),
+        Group::Blob => store.save_blob(&scenario_key("matrix", "p=1"), BLOB_PAYLOAD),
+        Group::Ckpt => store.save_checkpoint(key, &ckpt_payload()),
+        Group::Lease => store.write_lease(key, LEASE_OWNER),
+        Group::Merge => merge_shards(&[shard.to_path_buf()], dir, None).map(|report| {
+            assert!(
+                report.corrupt.is_empty() && report.conflicts.is_empty(),
+                "merge input was pre-verified: {report:?}"
+            );
+        }),
+    }
+}
+
+/// Asserts the reopened store never serves a wrong value for the group's
+/// key: every load is a miss or exactly what the writer attempted.
+fn assert_recovered(group: Group, dir: &Path) {
+    let (_, key, result) = tiny();
+    let store = ResultStore::open(dir.to_path_buf());
+    match group {
+        Group::Entry | Group::Merge => {
+            if let Some(loaded) = store.load(key) {
+                assert!(same_result(&loaded, result), "served a wrong entry");
+            }
+        }
+        Group::Blob => {
+            if let Some(payload) = store.load_blob(&scenario_key("matrix", "p=1")) {
+                assert_eq!(payload, BLOB_PAYLOAD, "served a wrong blob");
+            }
+        }
+        Group::Ckpt => {
+            // The hash guard filters cross-unit checkpoints; deeper
+            // corruption is the snapshot decoder's to reject — exactly
+            // what the resuming runner does before trusting a payload.
+            if let Some(payload) = store.load_checkpoint(key) {
+                assert!(
+                    payload == ckpt_payload() || dbi::snap::SnapReader::new(&payload).is_err(),
+                    "a corrupt checkpoint payload passed its own checksum"
+                );
+            }
+        }
+        Group::Lease => {
+            // Leases are advisory: any surviving content must be a torn
+            // prefix of what the writer sent, never foreign bytes.
+            if let Some(owner) = store.lease_owner(key) {
+                assert!(
+                    LEASE_OWNER.starts_with(&owner),
+                    "lease content '{owner}' is not a prefix of the write"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_matrix_covers_every_site_and_mode() {
+    let (_, key, result) = tiny();
+    let mut scenarios = 0;
+    for site in all_sites() {
+        for mode in modes_for(site) {
+            scenarios += 1;
+            let spec = FailSpec { site, mode };
+            let tag = format!("{spec}").replace([':', '.'], "-");
+            let s = Scratch::new(&tag);
+            let dir = s.dir.join("store");
+            let shard = s.dir.join("shard");
+
+            // Pre-populate the merge input before arming anything, so the
+            // only failpoint that can fire is the scenario's own.
+            if site.group == Group::Merge {
+                let src = ResultStore::open(shard.clone());
+                src.save(key, result).unwrap();
+            }
+
+            failpoints::install(
+                FailPlan::new(spec, 7)
+                    .with_style(CrashStyle::Error)
+                    .with_fire_at(1),
+            );
+            let outcome = perform(site.group, &dir, &shard);
+            let fired = failpoints::fired();
+            failpoints::clear();
+
+            assert_eq!(fired, Some(spec), "site {spec} never fired");
+            match mode {
+                FailMode::Torn | FailMode::Crash | FailMode::Eio => {
+                    assert!(outcome.is_err(), "{spec}: injected failure was swallowed");
+                }
+                FailMode::Short | FailMode::DropSync => {
+                    assert!(outcome.is_ok(), "{spec}: silent mode surfaced an error");
+                }
+            }
+
+            // A fresh handle on the crashed directory: no panic, no lies.
+            assert_recovered(site.group, &dir);
+
+            // Scrub the debris, redo the write cleanly, verify the value
+            // is served, and prove nothing is left to repair.
+            scrub_store(&dir, &ScrubOptions::default()).unwrap();
+            perform(site.group, &dir, &shard).unwrap_or_else(|e| {
+                panic!("{spec}: clean redo failed after scrub: {e}");
+            });
+            let healed = ResultStore::open(dir.clone());
+            match site.group {
+                Group::Entry | Group::Merge => {
+                    let loaded = healed.load(key).expect("healed entry must load");
+                    assert!(same_result(&loaded, result));
+                }
+                Group::Blob => assert_eq!(
+                    healed.load_blob(&scenario_key("matrix", "p=1")).as_deref(),
+                    Some(BLOB_PAYLOAD)
+                ),
+                Group::Ckpt => assert_eq!(
+                    healed.load_checkpoint(key),
+                    Some(ckpt_payload()),
+                    "healed checkpoint must round-trip"
+                ),
+                Group::Lease => assert_eq!(healed.lease_owner(key).as_deref(), Some(LEASE_OWNER)),
+            }
+            let report = scrub_store(&dir, &ScrubOptions::default()).unwrap();
+            assert!(
+                report.is_clean(),
+                "{spec}: store still dirty after heal: {report}"
+            );
+        }
+    }
+    // Four full atomic-write protocols (4+3+2+3 modes across the four
+    // stages) plus the lease's plain write (4 modes).
+    assert_eq!(scenarios, 4 * 12 + 4, "the matrix shrank — sites untested");
+}
+
+/// Disarmed failpoints must be invisible: the same operations succeed
+/// and round-trip with nothing installed (the production path).
+#[test]
+fn disarmed_failpoints_are_noops() {
+    let (_, key, result) = tiny();
+    let s = Scratch::new("noop");
+    let store = ResultStore::open(s.dir.clone());
+    store.save(key, result).unwrap();
+    store
+        .save_blob(&scenario_key("matrix", "p=1"), BLOB_PAYLOAD)
+        .unwrap();
+    store.save_checkpoint(key, &ckpt_payload()).unwrap();
+    store.write_lease(key, LEASE_OWNER).unwrap();
+    assert!(store.load(key).is_some());
+    assert_eq!(store.load_checkpoint(key), Some(ckpt_payload()));
+    assert_eq!(failpoints::fired(), None);
+    let report = scrub_store(&s.dir, &ScrubOptions::default()).unwrap();
+    assert!(report.is_clean(), "{report}");
+}

@@ -102,7 +102,13 @@ pub struct FaultRecord {
 }
 
 /// splitmix64 — a tiny, well-mixed seed expander.
-fn splitmix64(mut x: u64) -> u64 {
+///
+/// Shared by every deterministic fault layer in the workspace: the
+/// in-simulation [`FaultInjector`], the runner's jittered backoff, and
+/// the harness's on-disk I/O failpoints all derive their firing points
+/// from the same mixer, so a seed means the same thing everywhere.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
