@@ -41,9 +41,10 @@ Common options for every dbi-bench experiment binary:
     --io-fault SITE[:MODE]
                       arm one deterministic I/O failpoint in the result
                       store's write protocol; SITE is GROUP.STAGE (e.g.
-                      entry.rename, ckpt.sync, blob.write) and MODE is
+                      entry.rename, ckpt.sync, segment.write) and MODE is
                       crash (default), torn, short, drop-sync, or eio.
                       A firing crash exits the process with code 86.
+                      `--io-fault list` prints every site and its modes.
     --io-fault-seed N seed selecting which occurrence of the site fires
                       and the torn/short cut point (default 1)
     --watchdog SECS   per-unit wall-clock limit: a unit exceeding it is
@@ -207,6 +208,14 @@ impl BenchArgs {
                 }
                 "--io-fault" => {
                     let v = value("--io-fault")?;
+                    if v == "list" {
+                        // A requested listing, surfaced like --help so no
+                        // caller continues past it.
+                        return Err(format!(
+                            "failpoint catalog requested\n\n{}",
+                            crate::failpoints::catalog()
+                        ));
+                    }
                     args.io_fault = Some(FailSpec::parse(&v)?);
                 }
                 "--io-fault-seed" => {
@@ -410,11 +419,20 @@ mod tests {
                 .unwrap_err()
                 .contains("does not apply")
         );
-        assert!(
-            BenchArgs::try_parse(&argv(&["--io-fault", "floppy.write"]), &[])
-                .unwrap_err()
-                .contains("unknown failpoint site")
-        );
+        let err = BenchArgs::try_parse(&argv(&["--io-fault", "floppy.write"]), &[]).unwrap_err();
+        assert!(err.contains("unknown failpoint site"));
+        // A typo'd site fails with the full catalog, not a bare error.
+        assert!(err.contains("segment.rename") && err.contains("compact.gc"));
+    }
+
+    #[test]
+    fn io_fault_list_prints_the_catalog() {
+        let err = BenchArgs::try_parse(&argv(&["--io-fault", "list"]), &[]).unwrap_err();
+        assert!(err.contains("failpoint catalog requested"));
+        for site in crate::failpoints::all_sites() {
+            assert!(err.contains(&site.to_string()), "catalog names {site}");
+        }
+        assert!(err.contains("modes:"));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! `bench_store` — measures the result store's persistence hot paths.
+//!
+//! Three phases against a scratch store: *ingest* (loose `.entry` saves
+//! per second — the cost a campaign pays per simulated unit), *scan*
+//! (MB/s reading every record back out of compacted segment files — the
+//! cost of a merge or audit over a cold archive), and *warm open*
+//! (latency of opening a compacted store and serving the first hit —
+//! the cost every warm rerun pays before its first result). The entries
+//! are real serialized results saved under distinct synthetic keys, so
+//! the bytes on disk match what a campaign writes. Writes
+//! `BENCH_store.json` at the workspace root; the committed copy pins
+//! the store's cost the same way `BENCH_harness.json` pins the suite's.
+//!
+//! Usage: `cargo run --release -p dbi-bench --bin bench_store
+//! [--quick|--full] [--out PATH]`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dbi_bench::store::unit_key;
+use dbi_bench::{compact_store, BenchArgs, CompactOptions, Effort, ResultStore, SegmentSet};
+use system_sim::{run_mix, Mechanism, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let (args, extras) = BenchArgs::parse_with(&["--out"]);
+    let (entries, opens) = if args.effort == Effort::Full {
+        (20_000usize, 200usize)
+    } else {
+        (2_000usize, 50usize)
+    };
+    let out_path = extras.iter().find(|(flag, _)| flag == "--out").map_or_else(
+        || dbi_bench::workspace_root().join("BENCH_store.json"),
+        |(_, value)| PathBuf::from(value),
+    );
+
+    let scratch = std::env::temp_dir().join(format!("dbi-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // One real (tiny) simulation provides the payload; distinct seeds
+    // provide distinct keys, so ingest measures persistence, not the
+    // simulator.
+    let mut config = SystemConfig::for_cores(1, Mechanism::Baseline);
+    config.warmup_insts = 5_000;
+    config.measure_insts = 5_000;
+    let mix = WorkloadMix::new(vec![Benchmark::Mcf]);
+    let result = run_mix(&mix, &config);
+    let keys: Vec<_> = (0..entries)
+        .map(|i| {
+            let mut c = config.clone();
+            c.seed = c.seed.wrapping_add(1 + i as u64);
+            unit_key(&c, mix.benchmarks())
+        })
+        .collect();
+
+    eprintln!("bench_store: ingest {entries} entries...");
+    let store = ResultStore::open(scratch.clone());
+    let start = Instant::now();
+    for key in &keys {
+        store.save(key, &result).expect("save");
+    }
+    let ingest_seconds = start.elapsed().as_secs_f64();
+    let ingest_rate = entries as f64 / ingest_seconds;
+
+    eprintln!("bench_store: compact...");
+    let start = Instant::now();
+    let report = compact_store(&scratch, &CompactOptions::default()).expect("compact");
+    let compact_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(report.folded as usize, entries, "all entries must fold");
+
+    eprintln!("bench_store: scan segments...");
+    let start = Instant::now();
+    let set = SegmentSet::open_dir(&scratch);
+    let mut scanned_bytes = 0u64;
+    let mut scanned_records = 0usize;
+    for segment in set.segments() {
+        for (_, text) in segment.read_all_records().expect("scan") {
+            scanned_bytes += text.len() as u64;
+            scanned_records += 1;
+        }
+    }
+    let scan_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(scanned_records, entries, "scan must see every record");
+    let scan_mb_per_sec = (scanned_bytes as f64 / 1.0e6) / scan_seconds;
+
+    eprintln!("bench_store: warm open x{opens}...");
+    let probe = &keys[entries / 2];
+    let start = Instant::now();
+    for _ in 0..opens {
+        let fresh = ResultStore::open(scratch.clone());
+        assert!(fresh.load(probe).is_some(), "warm open must hit");
+    }
+    let warm_open_ms = start.elapsed().as_secs_f64() * 1.0e3 / opens as f64;
+
+    let json = format!(
+        "{{\n  \"schema\": \"dbi-store-perf/v1\",\n  \"effort\": \"{}\",\n  \"build\": \"{}\",\n  \"entries\": {entries},\n  \"ingest\": {{\n    \"wall_seconds\": {ingest_seconds:.3},\n    \"entries_per_sec\": {ingest_rate:.0}\n  }},\n  \"compact\": {{\n    \"wall_seconds\": {compact_seconds:.3},\n    \"folded\": {},\n    \"segment_bytes\": {}\n  }},\n  \"scan\": {{\n    \"wall_seconds\": {scan_seconds:.3},\n    \"bytes\": {scanned_bytes},\n    \"mb_per_sec\": {scan_mb_per_sec:.1}\n  }},\n  \"warm_open\": {{\n    \"opens\": {opens},\n    \"avg_ms\": {warm_open_ms:.3}\n  }}\n}}\n",
+        if args.effort == Effort::Full { "full" } else { "quick" },
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        report.folded,
+        report.segment_bytes,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "ingest {ingest_rate:.0} entries/s; compact {entries} in {compact_seconds:.2}s; \
+         scan {scan_mb_per_sec:.1} MB/s; warm open {warm_open_ms:.2} ms"
+    );
+}

@@ -1,0 +1,102 @@
+//! Folds cold loose result-store entries into immutable, checksummed
+//! segment files.
+//!
+//! ```text
+//! store_compact [--min-age SECS] [--min-entries N]
+//!               [--io-fault SITE[:MODE]] [--io-fault-seed N] DIR
+//! ```
+//!
+//! One pass of `crate::compact::compact_store` over the store at `DIR`:
+//! validated loose `.entry` files at least `--min-age` old are folded
+//! into one new segment (written through the atomic protocol, then
+//! re-read and deep-verified before any source is deleted), the segment
+//! manifest is updated, and the folded loose files are removed. The pass
+//! is crash-safe at every step — kill it anywhere (or make it kill
+//! itself with `--io-fault segment.rename` etc.) and the store still
+//! serves every result; `store_scrub` plus a re-run finishes the job.
+//!
+//! Exits 0 on success (the summary line says what was done), 1 on I/O
+//! failure, 2 on usage errors, 86 when an armed `--io-fault` crash fires.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dbi_bench::failpoints::{self, FailPlan};
+use dbi_bench::{compact_store, CompactOptions};
+
+const USAGE: &str = "\
+store_compact [--min-age SECS] [--min-entries N] [--io-fault SITE[:MODE]] [--io-fault-seed N] DIR
+
+    --min-age SECS     only fold loose entries at least this old
+                       (default 0: fold everything valid)
+    --min-entries N    do not build a segment for fewer than N foldable
+                       entries (default 1)
+    --io-fault SITE[:MODE]
+                       arm one deterministic I/O failpoint (crash-safety
+                       testing); `--io-fault list` prints the catalog
+    --io-fault-seed N  fire on the Nth occurrence of the site (default 1
+                       — a single pass visits most sites exactly once)
+    DIR                the result-store directory to compact
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("store_compact: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = CompactOptions::default();
+    let mut dir: Option<PathBuf> = None;
+    let mut io_fault: Option<String> = None;
+    let mut io_fault_seed: u64 = 1;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-age" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => opts.min_age = Duration::from_secs(secs),
+                None => fail("flag --min-age needs a number of seconds"),
+            },
+            "--min-entries" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.min_entries = n.max(1),
+                None => fail("flag --min-entries needs a count"),
+            },
+            "--io-fault" => match it.next() {
+                Some(v) if v == "list" => {
+                    print!("{}", failpoints::catalog());
+                    std::process::exit(0);
+                }
+                Some(v) => io_fault = Some(v),
+                None => fail("flag --io-fault needs a SITE[:MODE]"),
+            },
+            "--io-fault-seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => io_fault_seed = n,
+                None => fail("flag --io-fault-seed needs an integer"),
+            },
+            "--help" | "-h" => fail("usage requested"),
+            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
+            d if dir.is_none() => dir = Some(PathBuf::from(d)),
+            _ => fail("exactly one store directory expected"),
+        }
+    }
+    let Some(dir) = dir else {
+        fail("a store directory is required");
+    };
+    if let Some(spec) = io_fault {
+        match failpoints::FailSpec::parse(&spec) {
+            Ok(spec) => {
+                failpoints::install(FailPlan::new(spec, io_fault_seed).with_fire_at(io_fault_seed))
+            }
+            Err(e) => fail(&e),
+        }
+    }
+
+    match compact_store(&dir, &opts) {
+        Ok(report) => {
+            println!("store_compact: dir={} {report}", dir.display());
+        }
+        Err(e) => {
+            eprintln!("store_compact: compaction of {} failed: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}

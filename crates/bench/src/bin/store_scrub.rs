@@ -4,15 +4,19 @@
 //! store_scrub [--lease-stale SECS] DIR
 //! ```
 //!
-//! Walks the store at `DIR` once: every `.entry`, `.blob`, and `.ckpt`
-//! file is re-validated (checksums, embedded fingerprints against file
-//! names, checkpoint hash guards), corrupt files are moved into
-//! `DIR/quarantine/` for post-mortem, orphaned temp files from crashed
-//! writers are deleted, and leases staler than `--lease-stale` (default
-//! 300 seconds; 0 treats every lease as dead) are released. Run it after
-//! a crash — or any time — before resuming a campaign: a scrubbed store
-//! serves only verified entries, and the resumed run recomputes whatever
-//! was quarantined.
+//! Walks the store at `DIR` once: every `.entry`, `.blob`, `.ckpt`, and
+//! `.seg` file is re-validated (checksums, embedded fingerprints against
+//! file names, checkpoint hash guards, segment footers and indexes),
+//! corrupt files are moved into `DIR/quarantine/` for post-mortem —
+//! records that still verify inside a damaged segment are salvaged back
+//! to loose entries first — orphaned temp files from crashed writers are
+//! deleted, the segment manifest is reconciled, and leases staler than
+//! `--lease-stale` (default 300 seconds; 0 treats every lease as dead)
+//! are released. A lease carrying a heartbeat promise is never released
+//! before twice its promised interval, whatever `--lease-stale` says.
+//! Run it after a crash — or any time — before resuming a campaign: a
+//! scrubbed store serves only verified entries, and the resumed run
+//! recomputes whatever was quarantined.
 //!
 //! Exits 0 whether or not repairs were needed (the summary line says
 //! which), 1 on I/O failure, 2 on usage errors.
@@ -23,12 +27,43 @@ use std::time::Duration;
 use dbi_bench::{scrub_store, ScrubOptions};
 
 const USAGE: &str = "\
-store_scrub [--lease-stale SECS] DIR
+store_scrub [--lease-stale SECS] [--list-checks] DIR
 
     --lease-stale SECS  age beyond which a lease counts as abandoned
-                        (default 300; 0 removes every lease)
+                        (default 300; 0 removes every lease — except
+                        leases promising a heartbeat, which survive
+                        until twice their promised interval)
+    --list-checks       print every validation the scrub performs and
+                        the failpoint catalog it heals against, then exit
     DIR                 the result-store directory to scrub
 ";
+
+const CHECKS: &str = "\
+store_scrub validations, in pass order:
+    tmp-orphans   delete .tmp-/.tmpb-/.ckpt-/.tmpm-/.tmps-/.tmpn- files
+                  left by crashed writers
+    entry         re-checksum every .entry; embedded fingerprint must
+                  hash to the file name; corrupt -> quarantine/
+    blob          re-validate .blob byte-counted framing and checksum;
+                  corrupt -> quarantine/
+    ckpt          re-validate .ckpt hash guard; corrupt -> quarantine/
+    segment       re-validate .seg footer magic/checksums, index sort
+                  and geometry, file-name hash, and every record;
+                  corrupt -> salvage verifying records to loose
+                  entries, then quarantine/
+    manifest      reconcile segments.manifest against surviving .seg
+                  files; rewrite (generation+1) on any mismatch
+    lease         release .lease files older than --lease-stale, but
+                  never before 2x a lease's promised heartbeat
+
+Failpoint sites the recovery matrix proves this heals (every site x
+mode is crash-injected, scrubbed, and re-run to bit-identical results):
+";
+
+fn list_checks() -> ! {
+    print!("{CHECKS}{}", dbi_bench::catalog());
+    std::process::exit(0);
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("store_scrub: {msg}\n\n{USAGE}");
@@ -45,6 +80,7 @@ fn main() {
                 Some(secs) => opts.lease_stale_after = Duration::from_secs(secs),
                 None => fail("flag --lease-stale needs a number of seconds"),
             },
+            "--list-checks" => list_checks(),
             "--help" | "-h" => fail("usage requested"),
             other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
             d if dir.is_none() => dir = Some(PathBuf::from(d)),

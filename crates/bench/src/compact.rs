@@ -1,0 +1,429 @@
+//! Folds cold loose store entries into immutable segments, crash-safely.
+//!
+//! Compaction is the store's only *destructive* multi-step rewrite of
+//! persistent state, so its step order is the whole design:
+//!
+//! 1. **Validate** every candidate loose `.entry` (full entry grammar,
+//!    checksum, fingerprint-hashes-to-name). Invalid files are left for
+//!    scrub; fresh files (younger than `min_age`) are left for a later
+//!    pass.
+//! 2. **Install the segment** through the full atomic-write protocol
+//!    (`persist::write_atomic` under the `segment.*` failpoint sites:
+//!    temp `.tmps-*`, fsync, rename to its content-derived name, parent
+//!    directory fsync), then **re-open and deep-verify it from disk**.
+//!    A segment that does not read back bit-perfect — e.g. a short
+//!    write the rename happily installed — is deleted and the pass
+//!    aborts with every loose file untouched. Sources are never deleted
+//!    on the strength of an unverified write.
+//! 3. **Update the manifest** (`compact.manifest` site, then an atomic
+//!    rewrite). The manifest is advisory — the read path discovers
+//!    segments by directory scan — so a crash here costs nothing.
+//! 4. **Garbage-collect** the folded loose files (`compact.gc` site).
+//!    A crash mid-deletion leaves harmless duplicates: the store is
+//!    content-addressed, so a hash served from either copy yields the
+//!    same bytes, and the next pass finishes the deletions.
+//!
+//! Every crash prefix therefore leaves a store that serves exactly the
+//! same results it did before the pass started — proven scenario by
+//! scenario in `tests/failpoint_recovery.rs`.
+
+use std::path::Path;
+use std::time::Duration;
+
+use crate::failpoints::{self, Fire, Group, Site, Stage};
+use crate::persist;
+use crate::segment::{
+    load_manifest, segment_file_name, write_manifest, Manifest, ManifestState, Segment,
+    SegmentBuilder, SegmentSet,
+};
+use crate::store;
+
+/// Tuning for one compaction pass.
+#[derive(Debug, Clone)]
+pub struct CompactOptions {
+    /// Only loose entries at least this old are folded; younger ones are
+    /// presumed hot (or mid-campaign) and left loose. Zero folds
+    /// everything.
+    pub min_age: Duration,
+    /// Do not build a segment for fewer than this many foldable entries
+    /// (duplicate GC still runs). A segment has fixed index/footer
+    /// overhead; folding singletons just renames the problem.
+    pub min_entries: usize,
+}
+
+impl Default for CompactOptions {
+    fn default() -> CompactOptions {
+        CompactOptions {
+            min_age: Duration::ZERO,
+            min_entries: 1,
+        }
+    }
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Default)]
+pub struct CompactReport {
+    /// Loose entries folded into the newly installed segment.
+    pub folded: u64,
+    /// File name of the installed segment, if one was built.
+    pub segment: Option<String>,
+    /// Size of the installed segment in bytes.
+    pub segment_bytes: u64,
+    /// Loose files deleted in the GC step (folded entries plus loose
+    /// duplicates of already-segmented records).
+    pub gc_loose: u64,
+    /// Loose entries left alone because they are younger than `min_age`.
+    pub skipped_fresh: u64,
+    /// Loose entries left alone because they failed validation (scrub's
+    /// problem, not compaction's).
+    pub skipped_invalid: u64,
+    /// Loose entries whose hash a segment already serves with identical
+    /// bytes; they are GC'd without refolding.
+    pub already_segmented: u64,
+    /// Pre-existing `.seg` files that failed to open and were skipped.
+    pub invalid_segments: u64,
+    /// Valid segments in the store after the pass.
+    pub segments_total: u64,
+    /// Distinct records served by segments after the pass.
+    pub segment_records: u64,
+}
+
+impl std::fmt::Display for CompactReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "folded={} segment={} bytes={} gc={} fresh={} invalid={} dup={} \
+             bad_segments={} segments={} records={}",
+            self.folded,
+            self.segment.as_deref().unwrap_or("none"),
+            self.segment_bytes,
+            self.gc_loose,
+            self.skipped_fresh,
+            self.skipped_invalid,
+            self.already_segmented,
+            self.invalid_segments,
+            self.segments_total,
+            self.segment_records
+        )
+    }
+}
+
+/// Fires a coarse compaction failpoint site; `compact.{manifest,gc}`
+/// expose only the crash and eio modes (there is no payload to tear).
+fn compact_site(stage: Stage) -> std::io::Result<()> {
+    let site = Site::new(Group::Compact, stage);
+    match failpoints::fire(site, 0) {
+        Some(Fire::Crash) => Err(failpoints::crash(site)),
+        Some(Fire::Eio) => Err(failpoints::eio(site)),
+        None | Some(_) => Ok(()),
+    }
+}
+
+/// Runs one compaction pass over the store at `dir`. See the module docs
+/// for the crash-consistency protocol.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including injected failpoint crashes). After
+/// *any* error the store is intact: at worst it holds an orphaned
+/// `.tmps-*` temp, an extra (valid) segment, a stale manifest, or loose
+/// duplicates of segmented records — all healed by `store_scrub` plus a
+/// re-run of the pass, none affecting served values.
+pub fn compact_store(dir: &Path, opts: &CompactOptions) -> std::io::Result<CompactReport> {
+    let mut report = CompactReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let set = SegmentSet::open_dir(dir);
+    report.invalid_segments = set.invalid().len() as u64;
+
+    // Phase 1: classify loose entries.
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    paths.sort();
+    let mut fold: Vec<(u64, String, std::path::PathBuf)> = Vec::new();
+    let mut gc_dups: Vec<std::path::PathBuf> = Vec::new();
+    for path in paths {
+        let hash = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| s.len() == 16)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        let text = std::fs::read_to_string(&path).ok();
+        let valid = match (hash, &text) {
+            (Some(h), Some(t)) => {
+                store::deserialize_any(t).is_some_and(|(fp, _)| store::fingerprint_hash(&fp) == h)
+            }
+            _ => false,
+        };
+        if !valid {
+            report.skipped_invalid += 1;
+            continue;
+        }
+        let (hash, text) = (hash.unwrap(), text.unwrap());
+        let age = std::fs::metadata(&path)
+            .and_then(|m| m.modified())
+            .map(|m| m.elapsed().unwrap_or_default())
+            .unwrap_or_default();
+        if age < opts.min_age {
+            report.skipped_fresh += 1;
+            continue;
+        }
+        if set.contains(hash) {
+            // Content addressing says the copies agree; trust, but verify
+            // before deleting anything.
+            if set.read(hash).as_deref() == Some(text.as_str()) {
+                report.already_segmented += 1;
+                gc_dups.push(path);
+            } else {
+                report.skipped_invalid += 1;
+            }
+            continue;
+        }
+        fold.push((hash, text, path));
+    }
+
+    // Phase 2: build and install the segment, then prove it back.
+    let mut gc: Vec<std::path::PathBuf> = gc_dups;
+    if !fold.is_empty() && fold.len() >= opts.min_entries {
+        let mut builder = SegmentBuilder::new();
+        for (hash, text, _) in &fold {
+            builder.add(*hash, text.clone());
+        }
+        let bytes = builder.finish();
+        let name = segment_file_name(&bytes);
+        let dst = dir.join(&name);
+        let tmp = dir.join(format!(".tmps-{}", std::process::id()));
+        persist::write_atomic(Group::Segment, dir, &tmp, &dst, &bytes)?;
+        // Read-back verification: loose sources are deleted only on the
+        // strength of what is actually on disk, not what we meant to
+        // write. This is what turns a silently short segment write into
+        // a detected failure instead of data loss.
+        let verified = Segment::open(&dst).and_then(|s| s.verify_data());
+        if let Err(why) = verified {
+            let _ = std::fs::remove_file(&dst);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("segment {name} failed read-back verification: {why}"),
+            ));
+        }
+        report.folded = fold.len() as u64;
+        report.segment_bytes = bytes.len() as u64;
+        report.segment = Some(name);
+        gc.extend(fold.iter().map(|(_, _, p)| p.clone()));
+    }
+
+    // Re-scan: the authoritative post-install segment population.
+    let set = SegmentSet::open_dir(dir);
+    report.segments_total = set.segments().len() as u64;
+    report.segment_records = set.record_count() as u64;
+
+    // Phase 3: manifest update (advisory; readers scan the directory).
+    if report.segment.is_some() {
+        compact_site(Stage::Manifest)?;
+        let generation = match load_manifest(dir) {
+            ManifestState::Valid(m) => m.generation + 1,
+            ManifestState::Absent | ManifestState::Corrupt => 1,
+        };
+        let segments = set
+            .segments()
+            .iter()
+            .filter_map(|s| {
+                s.path()
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| (n.to_string(), s.record_count() as u64))
+            })
+            .collect();
+        write_manifest(
+            dir,
+            &Manifest {
+                generation,
+                segments,
+            },
+        )?;
+    }
+
+    // Phase 4: GC the folded sources and loose duplicates.
+    if !gc.is_empty() {
+        compact_site(Stage::Gc)?;
+        for path in gc {
+            if std::fs::remove_file(path).is_ok() {
+                report.gc_loose += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{fingerprint_hash, ResultStore, StoreKey, STORE_SCHEMA_VERSION};
+    use std::path::PathBuf;
+
+    struct Scratch {
+        dir: PathBuf,
+    }
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!(
+                "dbi-compact-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch { dir }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn key(tag: u64) -> StoreKey {
+        let fingerprint = format!("schema={STORE_SCHEMA_VERSION} compact-test tag={tag}");
+        StoreKey {
+            hash: fingerprint_hash(&fingerprint),
+            fingerprint,
+        }
+    }
+
+    fn result(seed: u64) -> system_sim::MixResult {
+        system_sim::MixResult {
+            cores: vec![system_sim::CoreResult {
+                benchmark: "mcf".to_string(),
+                insts: seed,
+                cycles: seed * 2,
+                llc_reads: 5,
+                llc_read_misses: 1,
+                dram_writes: 3,
+            }],
+            llc: system_sim::LlcStats::default(),
+            dram: dram_sim::DramStats::default(),
+            energy: dram_sim::DramEnergy::default(),
+            dbi: None,
+            rewrite_filter: None,
+            check: None,
+            sanitizer: None,
+            records_processed: seed,
+        }
+    }
+
+    #[test]
+    fn compaction_folds_gcs_and_keeps_every_value_servable() {
+        let s = Scratch::new("fold");
+        let store = ResultStore::open(s.dir.clone());
+        let keys: Vec<StoreKey> = (0..5).map(key).collect();
+        for (i, k) in keys.iter().enumerate() {
+            store.save(k, &result(i as u64)).unwrap();
+        }
+        // Plant one corrupt loose entry; compaction must leave it alone.
+        let bad = s.dir.join("00000000000000ff.entry");
+        std::fs::write(&bad, "not an entry").unwrap();
+
+        let report = compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        assert_eq!(report.folded, 5);
+        assert_eq!(report.gc_loose, 5);
+        assert_eq!(report.skipped_invalid, 1);
+        assert_eq!(report.segments_total, 1);
+        assert_eq!(report.segment_records, 5);
+        assert!(bad.exists(), "invalid entries are scrub's problem");
+        // Loose copies are gone; a fresh handle still serves every value.
+        let fresh = ResultStore::open(s.dir.clone());
+        for (i, k) in keys.iter().enumerate() {
+            assert!(!fresh.entry_path(k).exists());
+            let got = fresh.load(k).expect("served from the segment");
+            assert_eq!(got.records_processed, i as u64);
+        }
+        assert_eq!(fresh.corrupt_count(), 0);
+
+        // A second pass over the compacted store is a no-op.
+        let again = compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        assert_eq!(again.folded, 0);
+        assert_eq!(again.segments_total, 1);
+
+        // New entries fold into a second segment; both stay servable.
+        let extra = key(100);
+        store.save(&extra, &result(100)).unwrap();
+        let third = compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        assert_eq!(third.folded, 1);
+        assert_eq!(third.segments_total, 2);
+        assert_eq!(third.segment_records, 6);
+        let fresh = ResultStore::open(s.dir.clone());
+        assert!(fresh.load(&extra).is_some());
+        assert!(fresh.load(&keys[0]).is_some());
+    }
+
+    #[test]
+    fn min_age_and_min_entries_hold_back_folding() {
+        let s = Scratch::new("gates");
+        let store = ResultStore::open(s.dir.clone());
+        let k = key(1);
+        store.save(&k, &result(1)).unwrap();
+
+        // Everything is fresh: nothing folds.
+        let opts = CompactOptions {
+            min_age: Duration::from_secs(3600),
+            min_entries: 1,
+        };
+        let report = compact_store(&s.dir, &opts).unwrap();
+        assert_eq!((report.folded, report.skipped_fresh), (0, 1));
+        assert!(store.load(&k).is_some());
+
+        // Below the entry floor: nothing folds either.
+        let opts = CompactOptions {
+            min_age: Duration::ZERO,
+            min_entries: 10,
+        };
+        let report = compact_store(&s.dir, &opts).unwrap();
+        assert_eq!(report.folded, 0);
+        assert!(store.entry_path(&k).exists());
+    }
+
+    #[test]
+    fn loose_duplicates_of_segmented_records_are_gcd() {
+        let s = Scratch::new("dups");
+        let store = ResultStore::open(s.dir.clone());
+        let k = key(7);
+        store.save(&k, &result(7)).unwrap();
+        let entry_bytes = std::fs::read(store.entry_path(&k)).unwrap();
+        compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        // Simulate a crash-between-install-and-gc: the loose copy is back.
+        std::fs::write(store.entry_path(&k), &entry_bytes).unwrap();
+
+        let report = compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        assert_eq!(report.already_segmented, 1);
+        assert_eq!(report.gc_loose, 1);
+        assert_eq!(report.folded, 0, "no refolding of already-segmented data");
+        assert!(!store.entry_path(&k).exists());
+        assert!(ResultStore::open(s.dir.clone()).load(&k).is_some());
+    }
+
+    #[test]
+    fn manifest_tracks_generations() {
+        let s = Scratch::new("manifest");
+        let store = ResultStore::open(s.dir.clone());
+        store.save(&key(1), &result(1)).unwrap();
+        compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        let ManifestState::Valid(m1) = load_manifest(&s.dir) else {
+            panic!("manifest must exist after compaction");
+        };
+        assert_eq!(m1.generation, 1);
+        assert_eq!(m1.segments.len(), 1);
+
+        store.save(&key(2), &result(2)).unwrap();
+        compact_store(&s.dir, &CompactOptions::default()).unwrap();
+        let ManifestState::Valid(m2) = load_manifest(&s.dir) else {
+            panic!("manifest must survive the second pass");
+        };
+        assert_eq!(m2.generation, 2);
+        assert_eq!(m2.segments.len(), 2);
+    }
+}

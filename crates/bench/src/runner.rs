@@ -57,11 +57,12 @@
 //! owning shard, foreign units are served from the store when already
 //! present and skipped otherwise, and `merge_shards` combines the
 //! per-machine stores afterwards. While a shard simulates a unit it holds
-//! a *lease* (`<key>.lease`: owner string, mtime heartbeated at every
-//! checkpoint); another shard finding a lease stale for longer than
-//! [`Runner::with_lease_stale_after`] presumes the owner dead and takes
-//! the unit over after a jittered backoff — self-healing without a
-//! coordinator.
+//! a *lease* (`<key>.lease`: owner string plus the promised heartbeat
+//! interval, mtime refreshed at every checkpoint); another shard finding
+//! a lease stale for longer than both [`Runner::with_lease_stale_after`]
+//! and twice the owner's promised heartbeat presumes the owner dead and
+//! takes the unit over after a jittered backoff — self-healing without a
+//! coordinator, and never at the expense of a live owner.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -287,7 +288,19 @@ fn run_checkpointed(
         };
     };
     let store = ResultStore::open(ctx.dir.clone());
-    let _ = store.write_lease(&ctx.key, &ctx.owner);
+    // Under a wall-clock cadence the lease records the interval the owner
+    // promises to refresh it at (every checkpoint), so reapers know a
+    // fresh lease from a dead one regardless of their own threshold. A
+    // record-based cadence promises no wall-clock interval.
+    let heartbeat = match ctx.cadence {
+        CheckpointCadence::WallClock { target, .. } => Some(target),
+        _ => None,
+    };
+    let write_lease = || match heartbeat {
+        Some(hb) => store.write_lease_with_heartbeat(&ctx.key, &ctx.owner, hb),
+        None => store.write_lease(&ctx.key, &ctx.owner),
+    };
+    let _ = write_lease();
     let mut resume = store.load_checkpoint(&ctx.key);
     loop {
         let resumed = resume.is_some();
@@ -298,7 +311,7 @@ fn run_checkpointed(
                     ctx.key.hash
                 );
             }
-            let _ = store.write_lease(&ctx.key, &ctx.owner);
+            let _ = write_lease();
             if interrupted().is_some() {
                 return false;
             }
@@ -730,7 +743,12 @@ impl Runner {
         if let Some(result) = store.load(key) {
             return ForeignUnit::Serve(Box::new(result));
         }
-        let stale = |age: Option<Duration>| age.is_some_and(|a| a >= self.lease_stale_after);
+        // The effective threshold respects the heartbeat interval the
+        // lease's owner promised: however aggressive our own setting, a
+        // lease refreshed on schedule is never treated as stale.
+        let stale = |age: Option<Duration>| {
+            age.is_some_and(|a| a >= store.lease_stale_threshold(key, self.lease_stale_after))
+        };
         if !stale(store.lease_age(key)) {
             return ForeignUnit::Skip;
         }
@@ -760,10 +778,7 @@ impl Runner {
     fn list_unit(&self, phase: &str, unit: &RunUnit) -> MixResult {
         let unit = self.effective(unit);
         let key = unit.key();
-        let cached = self
-            .store
-            .as_ref()
-            .is_some_and(|s| s.entry_path(&key).exists());
+        let cached = self.store.as_ref().is_some_and(|s| s.contains(&key));
         let shard = self.shard.map_or_else(
             || "-".to_string(),
             |(_, n)| shard_of(key.hash, n).to_string(),

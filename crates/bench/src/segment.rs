@@ -1,0 +1,780 @@
+//! Immutable, checksummed segment files: the store's consolidated cold
+//! tier.
+//!
+//! The one-file-per-entry layout is simple and crash-friendly, but at
+//! campaign scale (millions of units) it dies on per-file `open`/`fsync`
+//! costs and directory scans. Compaction (`crate::compact`) folds cold
+//! loose `.entry` files into *segments* — read-only files holding many
+//! records behind one sorted index, the same consolidation move the DBI
+//! paper makes for per-block dirty bits. A segment is written once,
+//! atomically, and never modified; readers need only its tail.
+//!
+//! # File format
+//!
+//! ```text
+//! [records region]  concatenated raw `.entry` texts, each one the exact
+//!                   bytes a loose entry file would hold (magic, embedded
+//!                   fingerprint, trailing FNV-1a checksum, `end` marker)
+//!                   — every record stays individually verifiable
+//! [index region]    record_count × 24 bytes: (hash u64, offset u64,
+//!                   len u64) little-endian triples, sorted strictly
+//!                   ascending by hash
+//! [footer]          64 bytes, written last:
+//!                   magic "dbiseg01" | schema | record_count |
+//!                   index_offset | index_len | index_checksum |
+//!                   data_checksum | footer_checksum   (u64 LE each)
+//! ```
+//!
+//! The footer is the meta-block at the tip: a warm open reads the final
+//! 64 bytes plus the index and touches no record data. `index_checksum`
+//! covers the index region, `data_checksum` the records region, and
+//! `footer_checksum` the 56 footer bytes before itself — so a torn or
+//! bit-flipped segment is detected at whichever level the damage sits,
+//! and [`salvage`] can still recover intact records from the wreck via
+//! their per-record checksums. The file's name is the FNV-1a hash of its
+//! entire content (`{hash:016x}.seg`), giving `store_scrub` the same
+//! name-must-match-content check entries and blobs have.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::persist;
+use crate::store::{self, STORE_SCHEMA_VERSION};
+
+/// Magic bytes opening every segment footer.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"dbiseg01";
+
+/// Fixed footer size: magic plus seven `u64` fields.
+pub const FOOTER_LEN: usize = 64;
+
+/// Bytes per index entry: `(hash, offset, len)` as little-endian `u64`s.
+const INDEX_ENTRY_LEN: usize = 24;
+
+/// The advisory manifest naming the segments a store expects to hold.
+pub const MANIFEST_NAME: &str = "segments.manifest";
+
+const MANIFEST_MAGIC: &str = "dbi-bench-manifest";
+
+/// One record's location inside a segment's records region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef {
+    /// The record's store hash (its loose file name, were it loose).
+    pub hash: u64,
+    /// Byte offset of the record inside the file.
+    pub offset: u64,
+    /// Byte length of the record.
+    pub len: u64,
+}
+
+/// Accumulates records and serializes them into segment bytes.
+///
+/// Records are keyed by store hash; the builder keeps them sorted so the
+/// emitted index is always binary-searchable.
+#[derive(Debug, Default)]
+pub struct SegmentBuilder {
+    records: BTreeMap<u64, String>,
+}
+
+impl SegmentBuilder {
+    #[must_use]
+    pub fn new() -> SegmentBuilder {
+        SegmentBuilder::default()
+    }
+
+    /// Adds one record (the raw text of a valid `.entry` file) under its
+    /// store hash. Returns `false` if the hash was already present (the
+    /// first copy wins; a content-addressed store never holds two
+    /// different values under one hash).
+    pub fn add(&mut self, hash: u64, entry_text: String) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.records.entry(hash) {
+            Entry::Vacant(v) => {
+                v.insert(entry_text);
+                true
+            }
+            Entry::Occupied(_) => false,
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the accumulated records into complete segment bytes:
+    /// records region, sorted index, footer (in that order, so the footer
+    /// lands on disk last under a sequential write).
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let data_len: usize = self.records.values().map(String::len).sum();
+        let index_len = self.records.len() * INDEX_ENTRY_LEN;
+        let mut out = Vec::with_capacity(data_len + index_len + FOOTER_LEN);
+        let mut index = Vec::with_capacity(index_len);
+        for (hash, text) in &self.records {
+            index.extend_from_slice(&hash.to_le_bytes());
+            index.extend_from_slice(&(out.len() as u64).to_le_bytes());
+            index.extend_from_slice(&(text.len() as u64).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        let data_checksum = store::fnv1a(&out);
+        let index_checksum = store::fnv1a(&index);
+        let index_offset = out.len() as u64;
+        out.extend_from_slice(&index);
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(SEGMENT_MAGIC);
+        footer.extend_from_slice(&u64::from(STORE_SCHEMA_VERSION).to_le_bytes());
+        footer.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&(index_len as u64).to_le_bytes());
+        footer.extend_from_slice(&index_checksum.to_le_bytes());
+        footer.extend_from_slice(&data_checksum.to_le_bytes());
+        footer.extend_from_slice(&store::fnv1a(&footer).to_le_bytes());
+        out.extend_from_slice(&footer);
+        out
+    }
+}
+
+/// The file name segment `bytes` must live under: the FNV-1a hash of the
+/// entire file, hex, `.seg`. Scrub recomputes this to verify that a
+/// segment sits under the name its content demands.
+#[must_use]
+pub fn segment_file_name(bytes: &[u8]) -> String {
+    format!("{:016x}.seg", store::fnv1a(bytes))
+}
+
+/// An open segment: its validated index, held in memory; record data
+/// stays on disk and is read per lookup.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    path: PathBuf,
+    index: Vec<RecordRef>,
+    index_offset: u64,
+    data_checksum: u64,
+}
+
+impl Segment {
+    /// Opens and validates a segment's meta-block: footer magic, schema,
+    /// footer checksum, index geometry, index checksum, and strict index
+    /// ordering. Reads only the file tail — never the records region
+    /// (per-record validation is the read path's and scrub's job).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; any error means the segment must not be
+    /// served (the caller falls back to loose entries and leaves
+    /// quarantine to scrub).
+    pub fn open(path: &Path) -> Result<Segment, String> {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
+        let file_len = f.metadata().map_err(|e| format!("metadata: {e}"))?.len();
+        if file_len < FOOTER_LEN as u64 {
+            return Err(format!("too short for a footer: {file_len} bytes"));
+        }
+        f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))
+            .map_err(|e| format!("seek footer: {e}"))?;
+        let mut footer = [0u8; FOOTER_LEN];
+        f.read_exact(&mut footer)
+            .map_err(|e| format!("read footer: {e}"))?;
+        if &footer[..8] != SEGMENT_MAGIC {
+            return Err("bad footer magic".to_string());
+        }
+        let field = |i: usize| {
+            let at = 8 + i * 8;
+            u64::from_le_bytes(footer[at..at + 8].try_into().unwrap())
+        };
+        let (schema, record_count, index_offset, index_len) =
+            (field(0), field(1), field(2), field(3));
+        let (index_checksum, data_checksum, footer_checksum) = (field(4), field(5), field(6));
+        if footer_checksum != store::fnv1a(&footer[..FOOTER_LEN - 8]) {
+            return Err("footer checksum mismatch".to_string());
+        }
+        if schema != u64::from(STORE_SCHEMA_VERSION) {
+            return Err(format!("schema {schema} != {STORE_SCHEMA_VERSION}"));
+        }
+        if record_count == 0 {
+            return Err("empty segment".to_string());
+        }
+        if index_len != record_count * INDEX_ENTRY_LEN as u64
+            || index_offset
+                .checked_add(index_len)
+                .and_then(|e| e.checked_add(FOOTER_LEN as u64))
+                != Some(file_len)
+        {
+            return Err("index geometry inconsistent with file length".to_string());
+        }
+        f.seek(SeekFrom::Start(index_offset))
+            .map_err(|e| format!("seek index: {e}"))?;
+        let mut raw = vec![0u8; index_len as usize];
+        f.read_exact(&mut raw)
+            .map_err(|e| format!("read index: {e}"))?;
+        if store::fnv1a(&raw) != index_checksum {
+            return Err("index checksum mismatch".to_string());
+        }
+        let mut index = Vec::with_capacity(record_count as usize);
+        for chunk in raw.chunks_exact(INDEX_ENTRY_LEN) {
+            let r = RecordRef {
+                hash: u64::from_le_bytes(chunk[..8].try_into().unwrap()),
+                offset: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                len: u64::from_le_bytes(chunk[16..24].try_into().unwrap()),
+            };
+            if let Some(prev) = index.last() {
+                let prev: &RecordRef = prev;
+                if r.hash <= prev.hash {
+                    return Err("index not strictly sorted by hash".to_string());
+                }
+            }
+            if r.offset.checked_add(r.len).is_none_or(|e| e > index_offset) {
+                return Err("record range outside the data region".to_string());
+            }
+            index.push(r);
+        }
+        Ok(Segment {
+            path: path.to_path_buf(),
+            index,
+            index_offset,
+            data_checksum,
+        })
+    }
+
+    /// The segment's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records the index names.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The validated index, sorted by hash.
+    #[must_use]
+    pub fn records(&self) -> &[RecordRef] {
+        &self.index
+    }
+
+    /// Size of the records region in bytes.
+    #[must_use]
+    pub fn data_bytes(&self) -> u64 {
+        self.index_offset
+    }
+
+    /// Locates `hash` in the index.
+    #[must_use]
+    pub fn find(&self, hash: u64) -> Option<RecordRef> {
+        self.index
+            .binary_search_by_key(&hash, |r| r.hash)
+            .ok()
+            .map(|i| self.index[i])
+    }
+
+    /// Reads the raw record text for `hash` from disk, or `None` when the
+    /// hash is absent or the read fails (a vanished or shrunk file — the
+    /// caller degrades to loose entries).
+    #[must_use]
+    pub fn read_record(&self, hash: u64) -> Option<String> {
+        let r = self.find(hash)?;
+        let mut f = std::fs::File::open(&self.path).ok()?;
+        f.seek(SeekFrom::Start(r.offset)).ok()?;
+        let mut buf = vec![0u8; r.len as usize];
+        f.read_exact(&mut buf).ok()?;
+        String::from_utf8(buf).ok()
+    }
+
+    /// Reads the whole file once and returns every record as
+    /// `(hash, text)` — the bulk path for merge and benchmarks. Unlike
+    /// [`Segment::read_record`] this does not re-open the file per
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file read error; a record that is not valid UTF-8
+    /// is reported as `InvalidData`.
+    pub fn read_all_records(&self) -> std::io::Result<Vec<(u64, String)>> {
+        let bytes = std::fs::read(&self.path)?;
+        let mut out = Vec::with_capacity(self.index.len());
+        for r in &self.index {
+            let slice = bytes
+                .get(r.offset as usize..(r.offset + r.len) as usize)
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "record out of range")
+                })?;
+            let text = std::str::from_utf8(slice).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "record not UTF-8")
+            })?;
+            out.push((r.hash, text.to_string()));
+        }
+        Ok(out)
+    }
+
+    /// Full deep verification, for scrub and for compaction's read-back
+    /// check: re-reads the file, verifies the whole-region data checksum,
+    /// and parses every record (entry grammar, per-record checksum,
+    /// fingerprint-hashes-to-index-hash).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason naming the first failure.
+    pub fn verify_data(&self) -> Result<(), String> {
+        let bytes = std::fs::read(&self.path).map_err(|e| format!("read: {e}"))?;
+        let data = bytes
+            .get(..self.index_offset as usize)
+            .ok_or("file shorter than its data region")?;
+        if store::fnv1a(data) != self.data_checksum {
+            return Err("data checksum mismatch".to_string());
+        }
+        for r in &self.index {
+            let slice = data
+                .get(r.offset as usize..(r.offset + r.len) as usize)
+                .ok_or("record out of range")?;
+            let text = std::str::from_utf8(slice).map_err(|_| "record not UTF-8".to_string())?;
+            let (fingerprint, _) = store::deserialize_any(text)
+                .ok_or_else(|| format!("record {:016x} fails entry validation", r.hash))?;
+            if store::fingerprint_hash(&fingerprint) != r.hash {
+                return Err(format!(
+                    "record {:016x} embeds a fingerprint hashing elsewhere",
+                    r.hash
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pulls individually-intact records out of a damaged segment image.
+///
+/// Works without trusting footer or index: scans for entry-magic record
+/// starts, truncates each candidate at its `end` marker, and keeps only
+/// slices that pass full entry validation (per-record checksum plus
+/// fingerprint-to-hash). Records the damage cut in half are dropped —
+/// their checksums no longer verify — which is exactly the "salvage what
+/// provably survived, recompute the rest" contract.
+#[must_use]
+pub fn salvage(bytes: &[u8]) -> Vec<(u64, String)> {
+    let magic = format!("{} v", store::ENTRY_MAGIC);
+    let magic = magic.as_bytes();
+    let starts: Vec<usize> = find_all(bytes, magic);
+    let mut out: Vec<(u64, String)> = Vec::new();
+    for (i, &start) in starts.iter().enumerate() {
+        let limit = starts.get(i + 1).copied().unwrap_or(bytes.len());
+        let slice = &bytes[start..limit];
+        // A record ends at an `end\n` line; try each candidate terminator
+        // in order (payload fields never contain one, but a checksum
+        // failure on a wrong cut is harmless — we just try the next).
+        for end_at in find_all(slice, b"end\n") {
+            if end_at != 0 && slice[end_at - 1] != b'\n' {
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(&slice[..end_at + 4]) else {
+                continue;
+            };
+            if let Some((fingerprint, _)) = store::deserialize_any(text) {
+                let hash = store::fingerprint_hash(&fingerprint);
+                if !out.iter().any(|(h, _)| *h == hash) {
+                    out.push((hash, text.to_string()));
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Byte offsets of every occurrence of `needle` in `haystack`.
+fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return out;
+    }
+    for i in 0..=haystack.len() - needle.len() {
+        if &haystack[i..i + needle.len()] == needle {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Every valid segment in a store directory, behind one sorted lookup —
+/// the in-memory segment index the read path consults before touching
+/// loose files.
+#[derive(Debug, Default)]
+pub struct SegmentSet {
+    segments: Vec<Segment>,
+    /// hash → (segment position, record). Content addressing makes
+    /// duplicate hashes across segments identical, so first-wins is safe.
+    lookup: BTreeMap<u64, usize>,
+    /// Segments that failed [`Segment::open`], with reasons: skipped by
+    /// the read path (graceful degradation), quarantined later by scrub.
+    invalid: Vec<(PathBuf, String)>,
+}
+
+impl SegmentSet {
+    /// Scans `dir` for `*.seg` files (sorted, for determinism) and opens
+    /// each; invalid ones are recorded, not fatal. A missing directory is
+    /// an empty set.
+    #[must_use]
+    pub fn open_dir(dir: &Path) -> SegmentSet {
+        let mut set = SegmentSet::default();
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return set;
+        };
+        let mut paths: Vec<PathBuf> = rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match Segment::open(&path) {
+                Ok(seg) => {
+                    let at = set.segments.len();
+                    for r in seg.records() {
+                        set.lookup.entry(r.hash).or_insert(at);
+                    }
+                    set.segments.push(seg);
+                }
+                Err(why) => set.invalid.push((path, why)),
+            }
+        }
+        set
+    }
+
+    /// The valid segments, in name order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segments that failed to open, with reasons.
+    #[must_use]
+    pub fn invalid(&self) -> &[(PathBuf, String)] {
+        &self.invalid
+    }
+
+    /// Whether any segment indexes `hash`.
+    #[must_use]
+    pub fn contains(&self, hash: u64) -> bool {
+        self.lookup.contains_key(&hash)
+    }
+
+    /// Total records indexed across all valid segments (distinct hashes).
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.lookup.len()
+    }
+
+    /// Reads the raw record text for `hash`, or `None` when no segment
+    /// holds it or the read fails.
+    #[must_use]
+    pub fn read(&self, hash: u64) -> Option<String> {
+        self.segments[*self.lookup.get(&hash)?].read_record(hash)
+    }
+}
+
+/// The advisory segment manifest: generation counter plus the segment
+/// files (and their record counts) the store expects. The read path never
+/// needs it — segments are discovered by directory scan, so a crash
+/// between segment install and manifest update loses nothing — but scrub
+/// uses it to detect *lost* segments (named but absent) and rewrites it
+/// after quarantining.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Bumped by every compaction pass that installs a segment.
+    pub generation: u64,
+    /// `(file name, record count)` per expected segment, sorted by name.
+    pub segments: Vec<(String, u64)>,
+}
+
+/// The manifest's on-disk state, for scrub reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestState {
+    /// No manifest file exists (a never-compacted store).
+    Absent,
+    /// A manifest file exists but fails validation.
+    Corrupt,
+    /// A valid manifest.
+    Valid(Manifest),
+}
+
+/// Path of the manifest inside `dir`.
+#[must_use]
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_NAME)
+}
+
+impl Manifest {
+    /// Serializes with the store's usual framing: magic + schema line,
+    /// fields, trailing FNV-1a checksum, `end` marker.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = format!("{MANIFEST_MAGIC} v{STORE_SCHEMA_VERSION}\n");
+        out.push_str(&format!("generation {}\n", self.generation));
+        for (name, records) in &self.segments {
+            out.push_str(&format!("segment {name} {records}\n"));
+        }
+        out.push_str(&format!("checksum {:016x}\n", store::fnv1a(out.as_bytes())));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Strict parser: any deviation returns `None`.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Manifest> {
+        let rest = text.strip_suffix("end\n")?;
+        let sum_at = rest.rfind("checksum ")?;
+        if sum_at != 0 && !rest[..sum_at].ends_with('\n') {
+            return None;
+        }
+        let body = &rest[..sum_at];
+        let sum_hex = rest[sum_at..]
+            .strip_prefix("checksum ")?
+            .strip_suffix('\n')?;
+        if u64::from_str_radix(sum_hex, 16).ok()? != store::fnv1a(body.as_bytes()) {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != format!("{MANIFEST_MAGIC} v{STORE_SCHEMA_VERSION}") {
+            return None;
+        }
+        let generation: u64 = lines.next()?.strip_prefix("generation ")?.parse().ok()?;
+        let mut segments = Vec::new();
+        for line in lines {
+            let (name, records) = line.strip_prefix("segment ")?.split_once(' ')?;
+            segments.push((name.to_string(), records.parse().ok()?));
+        }
+        Some(Manifest {
+            generation,
+            segments,
+        })
+    }
+}
+
+/// Loads the manifest from `dir`, distinguishing absent from corrupt.
+#[must_use]
+pub fn load_manifest(dir: &Path) -> ManifestState {
+    match std::fs::read_to_string(manifest_path(dir)) {
+        Err(_) => ManifestState::Absent,
+        Ok(text) => match Manifest::parse(&text) {
+            Some(m) => ManifestState::Valid(m),
+            None => ManifestState::Corrupt,
+        },
+    }
+}
+
+/// Atomically rewrites the manifest in `dir`. Failure coverage comes from
+/// the caller-owned `compact.manifest` failpoint site (see
+/// `persist::write_atomic_quiet`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".tmpn-{}", std::process::id()));
+    persist::write_atomic_quiet(
+        dir,
+        &tmp,
+        &manifest_path(dir),
+        manifest.serialize().as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{fingerprint_hash, ResultStore, StoreKey};
+
+    struct Scratch {
+        dir: PathBuf,
+    }
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!(
+                "dbi-segment-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch { dir }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn key(tag: u64) -> StoreKey {
+        let fingerprint = format!("schema={STORE_SCHEMA_VERSION} test-entry tag={tag}");
+        StoreKey {
+            hash: fingerprint_hash(&fingerprint),
+            fingerprint,
+        }
+    }
+
+    fn result(seed: u64) -> system_sim::MixResult {
+        let mut llc = system_sim::LlcStats::default();
+        llc.tag_lookups = seed;
+        llc.demand_reads = seed + 1;
+        system_sim::MixResult {
+            cores: vec![system_sim::CoreResult {
+                benchmark: "lbm".to_string(),
+                insts: 100 + seed,
+                cycles: 200 + seed,
+                llc_reads: 10,
+                llc_read_misses: 2,
+                dram_writes: 1,
+            }],
+            llc,
+            dram: dram_sim::DramStats::default(),
+            energy: dram_sim::DramEnergy::default(),
+            dbi: None,
+            rewrite_filter: None,
+            check: None,
+            sanitizer: None,
+            records_processed: seed,
+        }
+    }
+
+    /// Raw entry bytes exactly as the store would write them.
+    fn entry_text(dir: &Path, tag: u64) -> (u64, String) {
+        let store = ResultStore::open(dir.to_path_buf());
+        let k = key(tag);
+        store.save(&k, &result(tag)).unwrap();
+        let text = std::fs::read_to_string(store.entry_path(&k)).unwrap();
+        std::fs::remove_file(store.entry_path(&k)).unwrap();
+        (k.hash, text)
+    }
+
+    fn build_segment(dir: &Path, tags: &[u64]) -> (PathBuf, Vec<(u64, String)>) {
+        let mut b = SegmentBuilder::new();
+        let mut records = Vec::new();
+        for &t in tags {
+            let (hash, text) = entry_text(dir, t);
+            assert!(b.add(hash, text.clone()));
+            records.push((hash, text));
+        }
+        let bytes = b.finish();
+        let path = dir.join(segment_file_name(&bytes));
+        std::fs::write(&path, &bytes).unwrap();
+        (path, records)
+    }
+
+    #[test]
+    fn segment_round_trips_and_verifies() {
+        let s = Scratch::new("roundtrip");
+        let (path, records) = build_segment(&s.dir, &[1, 2, 3, 4]);
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.record_count(), 4);
+        assert!(seg.verify_data().is_ok());
+        // Index sorted strictly ascending.
+        let hashes: Vec<u64> = seg.records().iter().map(|r| r.hash).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(hashes, sorted);
+        for (hash, text) in &records {
+            assert_eq!(seg.read_record(*hash).as_deref(), Some(text.as_str()));
+        }
+        assert!(seg.read_record(0xdead_beef).is_none());
+        let all = seg.read_all_records().unwrap();
+        assert_eq!(all.len(), 4);
+        for (hash, text) in &all {
+            assert!(records.iter().any(|(h, t)| h == hash && t == text));
+        }
+        // Name is content-derived.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            segment_file_name(&bytes)
+        );
+    }
+
+    #[test]
+    fn damaged_segments_fail_closed_but_salvage_what_survives() {
+        let s = Scratch::new("damage");
+        let (path, records) = build_segment(&s.dir, &[10, 11, 12]);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncated anywhere inside the footer: open fails.
+        std::fs::write(&path, &pristine[..pristine.len() - 7]).unwrap();
+        assert!(Segment::open(&path).is_err());
+
+        // A flipped bit in the index: open fails (index checksum).
+        let mut bad = pristine.clone();
+        let idx_at = bad.len() - FOOTER_LEN - 5;
+        bad[idx_at] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(Segment::open(&path).is_err());
+
+        // A flipped bit in a record: open succeeds (tail intact), deep
+        // verify fails, the record reads back but fails entry validation
+        // upstream — and salvage recovers exactly the intact records.
+        let mut bad = pristine.clone();
+        bad[10] ^= 0x01; // inside the first record's text
+        std::fs::write(&path, &bad).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert!(seg.verify_data().is_err());
+        let saved = salvage(&bad);
+        assert_eq!(saved.len(), 2, "two of three records are intact");
+        for (hash, text) in &saved {
+            assert!(records.iter().any(|(h, t)| h == hash && t == text));
+        }
+
+        // Truncation that beheads the footer: salvage still recovers the
+        // records before the cut.
+        let cut = pristine.len() / 2;
+        let saved = salvage(&pristine[..cut]);
+        assert!(!saved.is_empty());
+        for (hash, text) in &saved {
+            assert!(records.iter().any(|(h, t)| h == hash && t == text));
+        }
+    }
+
+    #[test]
+    fn segment_set_skips_invalid_and_serves_valid() {
+        let s = Scratch::new("set");
+        let (_, records_a) = build_segment(&s.dir, &[20, 21]);
+        let (path_b, records_b) = build_segment(&s.dir, &[22, 23]);
+        // Corrupt segment B's footer.
+        let mut bytes = std::fs::read(&path_b).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path_b, &bytes).unwrap();
+
+        let set = SegmentSet::open_dir(&s.dir);
+        assert_eq!(set.segments().len(), 1);
+        assert_eq!(set.invalid().len(), 1);
+        assert_eq!(set.record_count(), 2);
+        for (hash, text) in &records_a {
+            assert_eq!(set.read(*hash).as_deref(), Some(text.as_str()));
+        }
+        for (hash, _) in &records_b {
+            assert!(set.read(*hash).is_none(), "corrupt segment is never served");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_tampering() {
+        let s = Scratch::new("manifest");
+        assert_eq!(load_manifest(&s.dir), ManifestState::Absent);
+        let m = Manifest {
+            generation: 3,
+            segments: vec![("0123.seg".to_string(), 7), ("abcd.seg".to_string(), 2)],
+        };
+        write_manifest(&s.dir, &m).unwrap();
+        assert_eq!(load_manifest(&s.dir), ManifestState::Valid(m.clone()));
+        // Flip a digit: checksum catches it.
+        let text = m.serialize().replace("generation 3", "generation 8");
+        std::fs::write(manifest_path(&s.dir), text).unwrap();
+        assert_eq!(load_manifest(&s.dir), ManifestState::Corrupt);
+    }
+}

@@ -22,6 +22,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use system_sim::{CoreResult, MixResult, SystemConfig};
@@ -29,6 +30,7 @@ use trace_gen::Benchmark;
 
 use crate::failpoints::Group;
 use crate::persist;
+use crate::segment::SegmentSet;
 
 /// Bump whenever the fingerprint grammar or the entry serialization
 /// changes: old entries then miss (their embedded fingerprint no longer
@@ -45,7 +47,7 @@ use crate::persist;
 /// that no longer exists; recompute rather than trust the overlap.
 pub const STORE_SCHEMA_VERSION: u32 = 5;
 
-const ENTRY_MAGIC: &str = "dbi-bench-result";
+pub(crate) const ENTRY_MAGIC: &str = "dbi-bench-result";
 const BLOB_MAGIC: &str = "dbi-bench-blob";
 
 /// The content address of one simulation unit.
@@ -58,7 +60,7 @@ pub struct StoreKey {
 }
 
 /// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -237,13 +239,16 @@ pub struct ResultStore {
     /// Orphaned temp files removed by [`ResultStore::scavenge`], surfaced
     /// in runner summaries alongside the entry count.
     orphans: AtomicU64,
+    /// The store's segment index (compacted cold tier), opened lazily on
+    /// the first read so stores that never compacted pay nothing.
+    segments: OnceLock<SegmentSet>,
 }
 
 /// Temp-file name prefixes of the atomic-write protocol: entry, blob,
-/// checkpoint, and merge writers respectively. Final files never start
-/// with a dot, so anything matching these is in-flight — or, once its
-/// writer has died, an orphan.
-const TMP_PREFIXES: [&str; 4] = [".tmp-", ".tmpb-", ".ckpt-", ".tmpm-"];
+/// checkpoint, merge, segment, and manifest writers respectively. Final
+/// files never start with a dot, so anything matching these is in-flight
+/// — or, once its writer has died, an orphan.
+const TMP_PREFIXES: [&str; 6] = [".tmp-", ".tmpb-", ".ckpt-", ".tmpm-", ".tmps-", ".tmpn-"];
 
 /// Whether `name` is a temp file of the atomic-write protocol.
 #[must_use]
@@ -260,7 +265,16 @@ impl ResultStore {
             dir,
             corrupt: AtomicU64::new(0),
             orphans: AtomicU64::new(0),
+            segments: OnceLock::new(),
         }
+    }
+
+    /// The store's segment index, scanned from the directory on first
+    /// use. A handle opened before a compaction pass keeps serving the
+    /// loose copies it can still see; the next handle sees the segments.
+    fn segment_set(&self) -> &SegmentSet {
+        self.segments
+            .get_or_init(|| SegmentSet::open_dir(&self.dir))
     }
 
     /// Garbage-collects orphaned temp files (`.tmp-*`, `.tmpb-*`,
@@ -312,11 +326,32 @@ impl ResultStore {
         self.dir.join(format!("{:016x}.entry", key.hash))
     }
 
+    /// Whether the store holds a result for `key` — loose or segmented —
+    /// without parsing it (the cheap existence probe `--list-units`
+    /// uses; a corrupt file can make this optimistic, never `load`).
+    #[must_use]
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.segment_set().contains(key.hash) || self.entry_path(key).exists()
+    }
+
     /// Loads the result stored under `key`, or `None` on any miss:
     /// absent, truncated, corrupted, schema-mismatched, or
     /// fingerprint-collided entries all recompute.
+    ///
+    /// Consults the segment index first (the compacted cold tier), then
+    /// loose entries. A segment record that fails validation degrades to
+    /// the loose path — a corrupt segment can make reads slower, never
+    /// wrong.
     #[must_use]
     pub fn load(&self, key: &StoreKey) -> Option<MixResult> {
+        if let Some(text) = self.segment_set().read(key.hash) {
+            if let Some(result) = deserialize(&text, key) {
+                return Some(result);
+            }
+            // Indexed but unservable: record rot or a hash collision.
+            // Count it and fall back to the loose entry, if any.
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+        }
         let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
         let result = deserialize(&text, key);
         if result.is_none() {
@@ -455,12 +490,37 @@ impl ResultStore {
     /// the owner, its mtime is the heartbeat. Called once when a unit
     /// starts and again at every checkpoint.
     ///
+    /// A lease written this way records no heartbeat promise, so its
+    /// staleness is judged purely by the reaper's threshold; a live
+    /// runner should prefer [`ResultStore::write_lease_with_heartbeat`].
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors; callers treat them as non-fatal.
     pub fn write_lease(&self, key: &StoreKey, owner: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         persist::write_plain(Group::Lease, &self.lease_path(key), owner.as_bytes())
+    }
+
+    /// Like [`ResultStore::write_lease`], but records the interval at
+    /// which the owner promises to refresh the lease. Reapers (scrub,
+    /// takeover) must then not treat the lease as stale before twice that
+    /// interval has passed, however aggressive their own threshold — the
+    /// fix for live runners having their lease deleted out from under
+    /// them by an impatient `store_scrub --lease-stale 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat them as non-fatal.
+    pub fn write_lease_with_heartbeat(
+        &self,
+        key: &StoreKey,
+        owner: &str,
+        heartbeat: Duration,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let content = format!("{owner}\nheartbeat-secs={:.3}\n", heartbeat.as_secs_f64());
+        persist::write_plain(Group::Lease, &self.lease_path(key), content.as_bytes())
     }
 
     /// Age of the lease on `key` (time since its last heartbeat), or
@@ -476,7 +536,28 @@ impl ResultStore {
     /// The owner recorded in the lease on `key`, if one exists.
     #[must_use]
     pub fn lease_owner(&self, key: &StoreKey) -> Option<String> {
-        std::fs::read_to_string(self.lease_path(key)).ok()
+        let content = std::fs::read_to_string(self.lease_path(key)).ok()?;
+        Some(content.lines().next().unwrap_or_default().to_string())
+    }
+
+    /// The heartbeat interval the lease's owner promised, if the lease
+    /// exists and recorded one.
+    #[must_use]
+    pub fn lease_heartbeat(&self, key: &StoreKey) -> Option<Duration> {
+        let content = std::fs::read_to_string(self.lease_path(key)).ok()?;
+        parse_lease_heartbeat(&content)
+    }
+
+    /// The staleness threshold that actually applies to the lease on
+    /// `key`: the caller's `threshold`, raised to twice the owner's
+    /// promised heartbeat interval when the lease records one. A torn or
+    /// promise-less lease falls back to `threshold` alone.
+    #[must_use]
+    pub fn lease_stale_threshold(&self, key: &StoreKey, threshold: Duration) -> Duration {
+        match self.lease_heartbeat(key) {
+            Some(hb) => threshold.max(hb.saturating_mul(2)),
+            None => threshold,
+        }
     }
 
     /// Releases the lease on `key`.
@@ -484,18 +565,27 @@ impl ResultStore {
         let _ = std::fs::remove_file(self.lease_path(key));
     }
 
-    /// Number of entries currently in the store (for summaries; 0 if the
-    /// directory does not exist yet).
+    /// Number of results currently servable from the store — segment
+    /// records plus loose entries, with loose duplicates of segmented
+    /// records (a crash between compaction's install and GC steps)
+    /// counted once. 0 if the directory does not exist yet.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        std::fs::read_dir(&self.dir).map_or(0, |rd| {
-            rd.filter(|e| {
-                e.as_ref()
-                    .map(|e| e.path().extension().is_some_and(|x| x == "entry"))
-                    .unwrap_or(false)
-            })
-            .count()
-        })
+        let segs = self.segment_set();
+        let loose = std::fs::read_dir(&self.dir).map_or(0, |rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+                .filter(|p| {
+                    let hash = p
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .and_then(|s| u64::from_str_radix(s, 16).ok());
+                    hash.is_none_or(|h| !segs.contains(h))
+                })
+                .count()
+        });
+        loose + segs.record_count()
     }
 }
 
@@ -723,6 +813,20 @@ pub fn deserialize_any(text: &str) -> Option<(String, MixResult)> {
             records_processed,
         },
     ))
+}
+
+/// Parses the heartbeat promise out of raw lease content (second line,
+/// `heartbeat-secs=S`). Shared with scrub, which walks lease files
+/// directly rather than by key.
+#[must_use]
+pub(crate) fn parse_lease_heartbeat(content: &str) -> Option<Duration> {
+    let secs: f64 = content
+        .lines()
+        .nth(1)?
+        .strip_prefix("heartbeat-secs=")?
+        .parse()
+        .ok()?;
+    (secs.is_finite() && secs >= 0.0).then(|| Duration::from_secs_f64(secs))
 }
 
 fn parse_u64s(s: &str, n: usize) -> Option<Vec<u64>> {
