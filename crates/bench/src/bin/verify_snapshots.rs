@@ -13,7 +13,7 @@
 //! campaigns rely on: a `kill -9` mid-campaign costs wall-clock time, not
 //! correctness.
 
-use system_sim::{CheckpointCadence, Mechanism, RunOutcome, System, SystemConfig};
+use system_sim::{CheckpointCadence, Mechanism, SessionOutcome, SimSession, System, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
@@ -42,19 +42,19 @@ fn run_with_crashes(mix: &WorkloadMix, config: &SystemConfig) -> (String, u32) {
     let mut crashes = 0u32;
     loop {
         let mut saved: Option<Vec<u8>> = None;
-        let outcome = System::new(mix, config)
-            .run_resumable(
-                resume.as_deref(),
-                CheckpointCadence::EveryRecords(CHECKPOINT_EVERY),
-                &mut |bytes| {
-                    saved = Some(bytes.to_vec());
-                    false
-                },
-            )
+        let mut sink = |bytes: &[u8]| {
+            saved = Some(bytes.to_vec());
+            false
+        };
+        let outcome = SimSession::new(mix, config)
+            .maybe_resume(resume.as_deref())
+            .cadence(CheckpointCadence::EveryRecords(CHECKPOINT_EVERY))
+            .sink(&mut sink)
+            .run()
             .expect("snapshot written by this process must restore");
         match outcome {
-            RunOutcome::Finished(result) => return (result.digest(), crashes),
-            RunOutcome::Suspended => {
+            SessionOutcome::Finished(_) => return (outcome.into_single().digest(), crashes),
+            SessionOutcome::Suspended => {
                 crashes += 1;
                 resume = Some(saved.expect("suspension implies a checkpoint"));
             }

@@ -1,0 +1,75 @@
+//! Quick throughput comparison: N seeds run sequentially (scalar) vs. one
+//! lockstep batch of N. Prints records/sec for both and the ratio.
+//!
+//! ```text
+//! cargo run --release -p system-sim --example batch_speed [seeds] [cores] [warmup] [measure]
+//! ```
+
+use std::time::Instant;
+
+use system_sim::{Mechanism, SimSession, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).map_or(8, |s| s.parse().expect("seed count"));
+    let cores: usize = args.get(2).map_or(1, |s| s.parse().expect("core count"));
+    let warmup: u64 = args
+        .get(3)
+        .map_or(2_000_000, |s| s.parse().expect("warmup"));
+    let measure: u64 = args
+        .get(4)
+        .map_or(1_000_000, |s| s.parse().expect("measure"));
+
+    let benches = [
+        Benchmark::Lbm,
+        Benchmark::Mcf,
+        Benchmark::Milc,
+        Benchmark::Stream,
+    ];
+    let mix = WorkloadMix::new((0..cores).map(|i| benches[i % benches.len()]).collect());
+    let mut config = SystemConfig::for_cores(
+        cores,
+        Mechanism::Dbi {
+            awb: true,
+            clb: true,
+        },
+    );
+    config.warmup_insts = warmup;
+    config.measure_insts = measure;
+
+    let seeds: Vec<u64> = (0..n).map(|k| 1000 + k * 7).collect();
+
+    let t = Instant::now();
+    let mut scalar_digests = Vec::new();
+    let mut total_records = 0u64;
+    for &seed in &seeds {
+        let mut c = config.clone();
+        c.seed = seed;
+        let r = SimSession::new(&mix, &c).run().unwrap().into_single();
+        total_records += r.cores.iter().map(|cr| cr.insts).sum::<u64>();
+        scalar_digests.push(r.digest());
+    }
+    let scalar_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let batch = SimSession::new(&mix, &config)
+        .batch_seeds(&seeds)
+        .run()
+        .unwrap()
+        .into_results();
+    let batch_secs = t.elapsed().as_secs_f64();
+    let batch_digests: Vec<String> = batch.iter().map(system_sim::MixResult::digest).collect();
+
+    assert_eq!(scalar_digests, batch_digests, "batch diverged from scalar");
+    let scalar_rps = total_records as f64 / scalar_secs;
+    let batch_rps = total_records as f64 / batch_secs;
+    println!("seeds={n} cores={cores} insts/core={}+{}", warmup, measure);
+    println!("scalar: {scalar_secs:.2}s  {scalar_rps:.0} rec/s");
+    println!("batch : {batch_secs:.2}s  {batch_rps:.0} rec/s");
+    println!(
+        "ratio : {:.3}x  (bit-identical: yes)",
+        scalar_secs / batch_secs
+    );
+}

@@ -1,0 +1,204 @@
+//! Lockstep multi-seed batch execution — the struct-of-arrays engine
+//! behind [`crate::session::SimSession`].
+//!
+//! A [`SeedBatch`] holds S fully independent per-seed simulations (lanes):
+//! each lane is the existing scalar `System` — RNGs, private caches,
+//! LLC/DBI/SSV dirty state on the shared `DirtyWords`/`DirtyContainer`
+//! layouts, DRAM in-flight state — plus its run-loop progress. The drive
+//! loop advances the lanes in rotation, a fixed burst of micro-steps per
+//! lane per rotation. Bursting matters on the host: each lane's model
+//! slabs (tag arrays, replacement index, dirty words) span megabytes, so
+//! switching lanes every record would evict every lane's hot lines S
+//! times per record-equivalent; [`LANE_BURST`] amortizes the refill cost
+//! over thousands of steps of single-lane locality. The per-record
+//! bookkeeping (cadence counting, clock probes) is likewise hoisted to
+//! rotation boundaries and amortized over the whole burst.
+//!
+//! **Bit-identity is by construction**: lanes share no mutable state, so
+//! any interleaving of whole micro-steps replays each lane's exact scalar
+//! step sequence — the equivalence proptest in
+//! `crates/sim/tests/batch_equivalence.rs` pins this across every
+//! mechanism × replacement policy. Divergent events (drains, DBI
+//! evictions, checkpoint serialization, end-of-run verification) simply
+//! run scalar inside the owning lane; a lane that finishes early drops
+//! out of the rotation while the rest continue.
+//!
+//! Checkpoints serialize *all* lanes into one image at a rotation
+//! boundary; restore validates per-seed coherence (seed identity, step
+//! counts vs. core records, measurement-window sanity, a dirty-way
+//! cross-check through the bulk `DirtyView::mask_words` query) and
+//! rejects forged images with `SnapError::Corrupt`.
+
+use dbi::snap::{SnapError, SnapReader, SnapWriter};
+use trace_gen::mix::WorkloadMix;
+
+/// Micro-steps a live lane runs before the rotation moves to the next
+/// lane. Large enough that a lane's model slabs stay host-cache- and
+/// TLB-resident for the bulk of the burst (the refill transient after a
+/// switch is amortized over the burst), small enough that checkpoint
+/// opportunities — rotation boundaries — come many times a second.
+/// Width-1 batches use a burst of 1 so their checkpoint placement is
+/// exactly the scalar placement.
+const LANE_BURST: u64 = 16 * 1024;
+
+use crate::config::SystemConfig;
+use crate::session::{CheckpointCadence, SessionOutcome};
+use crate::system::{RunState, System};
+
+/// One seed's simulation plus its run-loop progress.
+struct Lane {
+    seed: u64,
+    /// Still stepping; cleared permanently when the measurement quota is
+    /// met (finalization happens later, in [`SeedBatch::drive`]).
+    live: bool,
+    sys: System,
+    st: RunState,
+}
+
+/// S independent per-seed simulations advanced in lockstep.
+pub struct SeedBatch {
+    lanes: Vec<Lane>,
+}
+
+impl SeedBatch {
+    /// Builds one lane per seed, each a cold scalar `System` of `config`
+    /// with its seed substituted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or contains duplicates (two lanes with
+    /// the same seed would be byte-identical work, and the runner keys
+    /// results per seed).
+    pub(crate) fn new(mix: &WorkloadMix, config: &SystemConfig, seeds: &[u64]) -> SeedBatch {
+        assert!(!seeds.is_empty(), "a batch needs at least one seed");
+        let mut lanes = Vec::with_capacity(seeds.len());
+        for (k, &seed) in seeds.iter().enumerate() {
+            assert!(
+                !seeds[..k].contains(&seed),
+                "batch seeds must be distinct, {seed} repeats"
+            );
+            let mut lane_config = config.clone();
+            lane_config.seed = seed;
+            let sys = System::new(mix, &lane_config);
+            let st = RunState::cold(&sys);
+            lanes.push(Lane {
+                seed,
+                live: true,
+                sys,
+                st,
+            });
+        }
+        SeedBatch { lanes }
+    }
+
+    /// Serializes every lane into one self-checksummed image. Only called
+    /// between rotations, so no lane is mid-record.
+    fn freeze(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.usize(self.lanes.len());
+        for lane in &self.lanes {
+            w.u64(lane.seed);
+        }
+        for lane in &self.lanes {
+            lane.sys.write_lane(&lane.st, &mut w);
+        }
+        w.finish()
+    }
+
+    /// Restores all lanes from `bytes`, validating per-seed coherence.
+    ///
+    /// # Errors
+    ///
+    /// Any structural mismatch (lane count, seed identity or order, per-
+    /// lane state) fails the whole restore; the batch is left partially
+    /// restored and must be discarded for a cold start.
+    pub(crate) fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes)?;
+        r.expect_len("batch lanes", self.lanes.len())?;
+        for lane in &self.lanes {
+            r.expect_u64("batch lane seed", lane.seed)?;
+        }
+        for lane in &mut self.lanes {
+            lane.st = lane.sys.read_lane(&mut r)?;
+        }
+        r.finish()?;
+        Ok(())
+    }
+
+    /// Runs every lane to completion, offering whole-batch checkpoints at
+    /// rotation boundaries per `cadence`; a `false` from `sink` suspends.
+    /// Finished lanes leave the rotation; finalization (stat diffs, the
+    /// flush-and-verify pass) runs once all lanes are done, in lane order.
+    pub(crate) fn drive(
+        mut self,
+        cadence: CheckpointCadence,
+        sink: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> SessionOutcome {
+        let mut last_checkpoint = std::time::Instant::now();
+        // Micro-steps since the last checkpoint / clock probe. Counting up
+        // to a row-boundary threshold instead of testing `steps %` every
+        // record keeps the u64 divisions out of the loop; for a width-1
+        // batch the checkpoint placement is exactly the scalar placement.
+        let mut since_checkpoint = 0u64;
+        let mut since_probe = 0u64;
+        let mut live = self.lanes.len();
+        let burst = if self.lanes.len() > 1 { LANE_BURST } else { 1 };
+        while live > 0 {
+            let mut stepped = 0u64;
+            for lane in &mut self.lanes {
+                if !lane.live {
+                    continue;
+                }
+                for _ in 0..burst {
+                    if lane.sys.micro_step(&mut lane.st) {
+                        stepped += 1;
+                    } else {
+                        lane.live = false;
+                        live -= 1;
+                        break;
+                    }
+                }
+            }
+            since_checkpoint += stepped;
+            since_probe += stepped;
+            let due = match cadence {
+                CheckpointCadence::Disabled => false,
+                CheckpointCadence::EveryRecords(every) => every != 0 && since_checkpoint >= every,
+                CheckpointCadence::WallClock {
+                    target,
+                    probe_records,
+                } => {
+                    probe_records != 0 && since_probe >= probe_records && {
+                        since_probe = 0;
+                        last_checkpoint.elapsed() >= target
+                    }
+                }
+            };
+            if due {
+                since_checkpoint = 0;
+                since_probe = 0;
+                last_checkpoint = std::time::Instant::now();
+                if !sink(&self.freeze()) {
+                    return SessionOutcome::Suspended;
+                }
+            }
+        }
+        SessionOutcome::Finished(
+            self.lanes
+                .into_iter()
+                .map(|lane| lane.sys.finish(&lane.st))
+                .collect(),
+        )
+    }
+}
+
+impl std::fmt::Debug for SeedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seeds: Vec<u64> = self.lanes.iter().map(|l| l.seed).collect();
+        let live = self.lanes.iter().filter(|l| l.live).count();
+        f.debug_struct("SeedBatch")
+            .field("seeds", &seeds)
+            .field("live", &live)
+            .finish()
+    }
+}

@@ -33,6 +33,7 @@
 //! assert_eq!(baseline.cores[0].insts, dbi.cores[0].insts);
 //! ```
 
+mod batch;
 mod checker;
 mod config;
 mod core;
@@ -41,8 +42,10 @@ mod faults;
 mod invariants;
 mod llc;
 pub mod metrics;
+mod session;
 mod system;
 
+pub use crate::batch::SeedBatch;
 pub use crate::checker::{LostWrite, VersionChecker};
 pub use crate::config::{DbiParams, Latencies, Mechanism, SystemConfig};
 pub use crate::dramcache::{GbCacheConfig, GbCacheStats, GbDirtyView, GbDramCache};
@@ -50,4 +53,7 @@ pub use crate::faults::{splitmix64, FaultClass, FaultInjector, FaultPlan, FaultR
 pub use crate::invariants::{InvariantKind, InvariantViolation, Sanitizer, SanitizerReport};
 pub use crate::llc::{LlcStats, ReadOutcome, SharedLlc};
 pub use crate::metrics::CoreResult;
-pub use crate::system::{run_alone, run_mix, CheckpointCadence, MixResult, RunOutcome, System};
+pub use crate::session::{
+    CheckpointCadence, CheckpointSink, RunOptions, SessionOutcome, SimSession,
+};
+pub use crate::system::{run_alone, run_mix, MixResult, System};

@@ -1,0 +1,280 @@
+//! The typed run API: one entry point for scalar and batch simulation.
+//!
+//! [`SimSession`] replaces the old positional
+//! `System::run_resumable(resume, cadence, &mut sink)` surface with a
+//! builder over [`RunOptions`]: resume bytes, checkpoint cadence and sink,
+//! sanitizer and fault-injector overrides, and the batch width all live in
+//! one struct, and scalar execution is simply a batch of width one. Every
+//! run — `run_mix`, the bench runner, checkpoint tests — goes through the
+//! same [`crate::batch::SeedBatch`] drive loop, so there is exactly one
+//! code path to prove bit-identical and crash-safe.
+//!
+//! ```
+//! use system_sim::{Mechanism, SessionOutcome, SimSession, SystemConfig};
+//! use trace_gen::mix::WorkloadMix;
+//! use trace_gen::Benchmark;
+//!
+//! let mix = WorkloadMix::new(vec![Benchmark::Lbm]);
+//! let mut config = SystemConfig::for_cores(1, Mechanism::Baseline);
+//! config.warmup_insts = 10_000;
+//! config.measure_insts = 20_000;
+//!
+//! // Scalar and batch share the entry point; each seed's result is
+//! // bit-identical to running it alone.
+//! let alone = SimSession::new(&mix, &config).run().unwrap().into_results();
+//! let batch = SimSession::new(&mix, &config)
+//!     .batch_seeds(&[config.seed, 99])
+//!     .run()
+//!     .unwrap()
+//!     .into_results();
+//! assert_eq!(alone[0].digest(), batch[0].digest());
+//! ```
+
+use dbi::snap::SnapError;
+use trace_gen::mix::WorkloadMix;
+
+use crate::batch::SeedBatch;
+use crate::config::SystemConfig;
+use crate::faults::FaultPlan;
+use crate::system::MixResult;
+
+/// When a resumable run serializes its state and offers it to the sink.
+///
+/// Checkpoint *placement* may depend on wall-clock time, but checkpoint
+/// *content* never does: a snapshot taken at any step boundary restores
+/// bit-identically, so cadence only trades re-execution loss against
+/// serialization overhead. Under a batch, cadence counts micro-steps
+/// across all lanes and checkpoints land on lane-rotation boundaries; for
+/// a width-1 batch the placement is exactly the scalar placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointCadence {
+    /// Never checkpoint.
+    #[default]
+    Disabled,
+    /// Checkpoint every `n` trace records (`n = 0` also disables) — the
+    /// deterministic cadence tests lean on.
+    EveryRecords(u64),
+    /// Checkpoint when at least `target` has elapsed since the last one,
+    /// probing the clock only every `probe_records` records so the hot
+    /// loop stays off `Instant::now()`. This bounds loss-on-kill per unit
+    /// *evenly across mechanisms of different speeds*: a slow mechanism
+    /// checkpoints at the same wall interval as a fast one instead of 5×
+    /// less often.
+    WallClock {
+        /// Minimum wall-clock time between checkpoints.
+        target: std::time::Duration,
+        /// Records between clock probes (`0` disables checkpointing).
+        probe_records: u64,
+    },
+}
+
+/// How a session ended.
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// Every seed finished; results are in `batch_seeds` order (a single
+    /// element for scalar runs).
+    Finished(Vec<MixResult>),
+    /// The checkpoint sink asked to stop; the last checkpoint it accepted
+    /// is the point to resume from.
+    Suspended,
+}
+
+impl SessionOutcome {
+    /// The finished results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was suspended.
+    #[must_use]
+    pub fn into_results(self) -> Vec<MixResult> {
+        match self {
+            SessionOutcome::Finished(results) => results,
+            SessionOutcome::Suspended => panic!("session was suspended, not finished"),
+        }
+    }
+
+    /// The single result of a scalar (width-1) session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was suspended or ran more than one seed.
+    #[must_use]
+    pub fn into_single(self) -> MixResult {
+        let mut results = self.into_results();
+        assert_eq!(results.len(), 1, "session ran {} seeds", results.len());
+        results.pop().expect("one result")
+    }
+}
+
+/// A checkpoint sink: receives each serialized snapshot, `false` suspends.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&[u8]) -> bool;
+
+/// Everything a run can be configured with, in one typed struct.
+///
+/// All fields default to "off": no resume, no checkpointing, config-level
+/// sanitizer/fault settings, scalar width. [`SimSession`]'s builder methods
+/// set individual fields; construct a `RunOptions` directly when a caller
+/// wants to thread options through as a value.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Snapshot bytes from a previous suspension to resume from.
+    pub resume: Option<&'a [u8]>,
+    /// When to offer checkpoints to the sink.
+    pub cadence: CheckpointCadence,
+    /// Receives each serialized checkpoint; returning `false` suspends the
+    /// run. `None` accepts (and discards) every checkpoint.
+    pub sink: Option<CheckpointSink<'a>>,
+    /// Overrides [`SystemConfig::sanitize`] when set.
+    pub sanitize: Option<bool>,
+    /// Overrides [`SystemConfig::fault`] when set.
+    pub fault: Option<FaultPlan>,
+    /// Seeds to run in lockstep, one lane per seed. `None` (or one seed)
+    /// is the scalar path; `config.seed` is ignored when set.
+    pub batch_seeds: Option<&'a [u64]>,
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("resume", &self.resume.map(<[u8]>::len))
+            .field("cadence", &self.cadence)
+            .field("sink", &self.sink.is_some())
+            .field("sanitize", &self.sanitize)
+            .field("fault", &self.fault)
+            .field("batch_seeds", &self.batch_seeds)
+            .finish()
+    }
+}
+
+/// A configured run of one `(mix, config)` over one or more seeds.
+///
+/// Borrowing builder: `SimSession::new(&mix, &config).cadence(..).run()`.
+#[derive(Debug)]
+pub struct SimSession<'a> {
+    mix: &'a WorkloadMix,
+    config: &'a SystemConfig,
+    options: RunOptions<'a>,
+}
+
+impl<'a> SimSession<'a> {
+    /// Starts a session with default options (scalar, no checkpointing).
+    #[must_use]
+    pub fn new(mix: &'a WorkloadMix, config: &'a SystemConfig) -> SimSession<'a> {
+        SimSession {
+            mix,
+            config,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Starts a session from pre-built options.
+    #[must_use]
+    pub fn with_options(
+        mix: &'a WorkloadMix,
+        config: &'a SystemConfig,
+        options: RunOptions<'a>,
+    ) -> SimSession<'a> {
+        SimSession {
+            mix,
+            config,
+            options,
+        }
+    }
+
+    /// Resume from `bytes` captured by a previous suspension.
+    #[must_use]
+    pub fn resume(mut self, bytes: &'a [u8]) -> Self {
+        self.options.resume = Some(bytes);
+        self
+    }
+
+    /// Resume from `bytes` when present — the store-driven caller's shape,
+    /// where a checkpoint may or may not exist.
+    #[must_use]
+    pub fn maybe_resume(mut self, bytes: Option<&'a [u8]>) -> Self {
+        self.options.resume = bytes;
+        self
+    }
+
+    /// Sets the checkpoint cadence.
+    #[must_use]
+    pub fn cadence(mut self, cadence: CheckpointCadence) -> Self {
+        self.options.cadence = cadence;
+        self
+    }
+
+    /// Sets the checkpoint sink; returning `false` suspends the run.
+    #[must_use]
+    pub fn sink(mut self, sink: &'a mut dyn FnMut(&[u8]) -> bool) -> Self {
+        self.options.sink = Some(sink);
+        self
+    }
+
+    /// Forces the invariant sanitizer on or off, overriding the config.
+    #[must_use]
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.options.sanitize = Some(on);
+        self
+    }
+
+    /// Installs a fault-injection plan, overriding the config.
+    #[must_use]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.options.fault = Some(plan);
+        self
+    }
+
+    /// Runs `seeds` in lockstep, one lane per seed (`config.seed` is
+    /// ignored). One seed is exactly the scalar path.
+    #[must_use]
+    pub fn batch_seeds(mut self, seeds: &'a [u64]) -> Self {
+        self.options.batch_seeds = Some(seeds);
+        self
+    }
+
+    /// Executes the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error when resume bytes are truncated, corrupted,
+    /// forged, or captured from a differently-configured session (other
+    /// mechanism, other seeds, other batch width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement window is empty, `batch_seeds` is set but
+    /// empty, or the batch seeds are not distinct.
+    pub fn run(self) -> Result<SessionOutcome, SnapError> {
+        let SimSession {
+            mix,
+            config,
+            options,
+        } = self;
+        let mut config = config.clone();
+        if let Some(on) = options.sanitize {
+            config.sanitize = on;
+        }
+        if let Some(plan) = options.fault {
+            config.fault = Some(plan);
+        }
+        assert!(
+            config.measure_insts > 0,
+            "measurement window must be nonempty"
+        );
+        let one_seed = [config.seed];
+        let seeds: &[u64] = match options.batch_seeds {
+            Some(seeds) => {
+                assert!(!seeds.is_empty(), "batch_seeds must name at least one seed");
+                seeds
+            }
+            None => &one_seed,
+        };
+        let mut batch = SeedBatch::new(mix, &config, seeds);
+        if let Some(bytes) = options.resume {
+            batch.restore_from(bytes)?;
+        }
+        let mut accept_all = |_: &[u8]| true;
+        let sink = options.sink.unwrap_or(&mut accept_all);
+        Ok(batch.drive(options.cadence, sink))
+    }
+}

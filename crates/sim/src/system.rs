@@ -125,49 +125,17 @@ fn diff_llc(end: &LlcStats, start: &LlcStats) -> LlcStats {
     }
 }
 
-/// When a resumable run serializes its state and offers it to the sink.
-///
-/// Checkpoint *placement* may depend on wall-clock time, but checkpoint
-/// *content* never does: a snapshot taken at any step boundary restores
-/// bit-identically, so cadence only trades re-execution loss against
-/// serialization overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CheckpointCadence {
-    /// Never checkpoint.
-    Disabled,
-    /// Checkpoint every `n` trace records (`n = 0` also disables) — the
-    /// deterministic cadence tests lean on.
-    EveryRecords(u64),
-    /// Checkpoint when at least `target` has elapsed since the last one,
-    /// probing the clock only every `probe_records` records so the hot
-    /// loop stays off `Instant::now()`. This bounds loss-on-kill per unit
-    /// *evenly across mechanisms of different speeds*: a slow mechanism
-    /// checkpoints at the same wall interval as a fast one instead of 5×
-    /// less often.
-    WallClock {
-        /// Minimum wall-clock time between checkpoints.
-        target: std::time::Duration,
-        /// Records between clock probes (`0` disables checkpointing).
-        probe_records: u64,
-    },
-}
-
-/// How a resumable run ended.
-#[derive(Debug)]
-pub enum RunOutcome {
-    /// The run completed and produced its measured results.
-    Finished(Box<MixResult>),
-    /// The checkpoint sink asked to stop; the last checkpoint it accepted
-    /// is the point to resume from.
-    Suspended,
-}
-
 /// Run-loop progress that lives outside the [`System`] itself: step count,
 /// phase, and the measurement baselines captured at the warmup boundary.
+///
+/// One `RunState` accompanies each [`System`] lane of a
+/// [`crate::batch::SeedBatch`]; the phase a lane is in is *derived* from
+/// it (`!measuring` → warmup, otherwise measuring until every core has an
+/// end snapshot), never stored separately.
 #[derive(Debug)]
-struct RunState {
-    steps: u64,
-    measuring: bool,
+pub(crate) struct RunState {
+    pub(crate) steps: u64,
+    pub(crate) measuring: bool,
     base: Vec<CoreSnapshot>,
     end: Vec<Option<CoreSnapshot>>,
     llc_base: LlcStats,
@@ -177,7 +145,7 @@ struct RunState {
 }
 
 impl RunState {
-    fn cold(sys: &System) -> RunState {
+    pub(crate) fn cold(sys: &System) -> RunState {
         RunState {
             steps: 0,
             measuring: false,
@@ -194,7 +162,7 @@ impl RunState {
         self.end.iter().filter(|e| e.is_some()).count()
     }
 
-    fn write(&self, w: &mut dbi::snap::SnapWriter) {
+    pub(crate) fn write(&self, w: &mut dbi::snap::SnapWriter) {
         w.u64(self.steps);
         w.bool(self.measuring);
         if !self.measuring {
@@ -231,7 +199,7 @@ impl RunState {
         }
     }
 
-    fn read(
+    pub(crate) fn read(
         r: &mut dbi::snap::SnapReader<'_>,
         sys: &System,
     ) -> Result<RunState, dbi::snap::SnapError> {
@@ -348,105 +316,45 @@ impl System {
     ///
     /// Cores that finish their measurement quota keep running (and keep
     /// generating interference) until every core has finished, following
-    /// the standard multi-programmed methodology.
-    #[must_use]
-    pub fn run(self) -> MixResult {
-        match self.run_resumable(None, CheckpointCadence::Disabled, &mut |_| true) {
-            Ok(RunOutcome::Finished(result)) => *result,
-            Ok(RunOutcome::Suspended) => unreachable!("the always-true sink never suspends"),
-            Err(e) => unreachable!("a cold start restores nothing: {e}"),
-        }
-    }
-
-    /// Serializes the full mid-run state (mechanisms + run-loop progress)
-    /// as one self-checksummed snapshot.
-    fn freeze(&self, st: &RunState) -> Vec<u8> {
-        let mut w = dbi::snap::SnapWriter::new();
-        self.snapshot(&mut w);
-        st.write(&mut w);
-        w.finish()
-    }
-
-    /// Offers a checkpoint to `sink` when the cadence says one is due;
-    /// false = suspend.
-    fn checkpoint_due(
-        &self,
-        st: &RunState,
-        cadence: CheckpointCadence,
-        last: &mut std::time::Instant,
-        sink: &mut dyn FnMut(&[u8]) -> bool,
-    ) -> bool {
-        let due = match cadence {
-            CheckpointCadence::Disabled => false,
-            CheckpointCadence::EveryRecords(every) => every != 0 && st.steps.is_multiple_of(every),
-            CheckpointCadence::WallClock {
-                target,
-                probe_records,
-            } => {
-                probe_records != 0
-                    && st.steps.is_multiple_of(probe_records)
-                    && last.elapsed() >= target
-            }
-        };
-        if !due {
-            return true;
-        }
-        *last = std::time::Instant::now();
-        sink(&self.freeze(st))
-    }
-
-    /// [`run`](System::run) with checkpoint/restore: the same loop, but at
-    /// every point `cadence` declares due, the complete simulation state is
-    /// serialized and offered to `sink`. A `false` from the sink suspends
-    /// the run ([`RunOutcome::Suspended`]); resuming later from the
-    /// accepted bytes continues bit-identically — the step sequence,
-    /// sanitizer scan points, and measurement boundaries all derive from
-    /// the serialized state, never from how many times the process ran or
-    /// *when* checkpoints happened to land.
-    ///
-    /// # Errors
-    ///
-    /// Returns the decode error when `resume` bytes are truncated,
-    /// corrupted, or captured from a differently-configured system. The
-    /// system itself may be left partially restored; discard it and start
-    /// cold.
+    /// the standard multi-programmed methodology. Checkpointing, resume,
+    /// and multi-seed batching live on [`crate::session::SimSession`],
+    /// which drives these same micro-steps.
     ///
     /// # Panics
     ///
     /// Panics if the configured measurement window is empty.
-    pub fn run_resumable(
-        mut self,
-        resume: Option<&[u8]>,
-        cadence: CheckpointCadence,
-        sink: &mut dyn FnMut(&[u8]) -> bool,
-    ) -> Result<RunOutcome, dbi::snap::SnapError> {
-        let mut last_checkpoint = std::time::Instant::now();
+    #[must_use]
+    pub fn run(mut self) -> MixResult {
+        assert!(
+            self.config.measure_insts > 0,
+            "measurement window must be nonempty"
+        );
+        let mut st = RunState::cold(&self);
+        while self.micro_step(&mut st) {}
+        self.finish(&st)
+    }
+
+    /// Advances this lane by exactly one trace record, performing the
+    /// warmup→measure transition when it falls due. Returns `false` once
+    /// the run is complete (every core has retired its measurement quota)
+    /// — a terminal state; further calls stay `false` and step nothing.
+    ///
+    /// This is the unit of lockstep interleaving: because lanes share no
+    /// state, any interleaving of whole micro-steps across lanes replays
+    /// each lane's exact scalar step sequence — sanitizer scan points and
+    /// measurement boundaries derive only from `st`, never from the other
+    /// lanes or from wall-clock time.
+    pub(crate) fn micro_step(&mut self, st: &mut RunState) -> bool {
         let warm = self.config.warmup_insts;
-        let measure = self.config.measure_insts;
-        assert!(measure > 0, "measurement window must be nonempty");
-        let n = self.cores.len();
-
-        let mut st = match resume {
-            Some(bytes) => {
-                let mut r = dbi::snap::SnapReader::new(bytes)?;
-                self.restore(&mut r)?;
-                let st = RunState::read(&mut r, &self)?;
-                r.finish()?;
-                st
-            }
-            None => RunState::cold(&self),
-        };
-
-        // Phase 1: warm until every core has retired `warm` instructions.
         if !st.measuring {
-            while self.cores.iter().any(|c| c.insts < warm) {
+            if self.cores.iter().any(|c| c.insts < warm) {
                 let _ = self.step_next(&mut st.steps);
-                if !self.checkpoint_due(&st, cadence, &mut last_checkpoint, sink) {
-                    return Ok(RunOutcome::Suspended);
-                }
+                return true;
             }
-
-            // Capture measurement baselines at the warmup boundary.
+            // Warmup boundary: capture measurement baselines, then fall
+            // straight through into the measurement phase — the next
+            // record executes in this same call, exactly as the scalar
+            // loop ran before the phases were split into micro-steps.
             st.base = self
                 .cores
                 .iter()
@@ -461,34 +369,132 @@ impl System {
                     )
                 })
                 .collect();
-            st.end = vec![None; n];
+            st.end = vec![None; self.cores.len()];
             st.llc_base = self.llc.stats().clone();
             st.dram_base = *self.dram.stats();
             st.energy_base = *self.dram.energy();
             st.dbi_base = self.llc.dbi().map(|d| *d.stats());
             st.measuring = true;
         }
+        if st.done() >= self.cores.len() {
+            return false;
+        }
+        let measure = self.config.measure_insts;
+        let i = self.step_next(&mut st.steps);
+        let c = &self.cores[i];
+        if st.end[i].is_none() && c.insts >= st.base[i].0 + measure {
+            st.end[i] = Some((
+                c.insts,
+                c.cycle,
+                c.llc_reads,
+                c.llc_read_misses,
+                self.llc.stats().dram_writes_per_core[i],
+            ));
+        }
+        true
+    }
 
-        // Phase 2: measure until every core retires `measure` more.
-        let mut done = st.done();
-        while done < n {
-            let i = self.step_next(&mut st.steps);
-            let c = &self.cores[i];
-            if st.end[i].is_none() && c.insts >= st.base[i].0 + measure {
-                st.end[i] = Some((
-                    c.insts,
-                    c.cycle,
-                    c.llc_reads,
-                    c.llc_read_misses,
-                    self.llc.stats().dram_writes_per_core[i],
-                ));
-                done += 1;
-            }
-            if !self.checkpoint_due(&st, cadence, &mut last_checkpoint, sink) {
-                return Ok(RunOutcome::Suspended);
+    /// Serializes the mid-run state of this lane (mechanisms + run-loop
+    /// progress) into an open snapshot stream.
+    pub(crate) fn write_lane(&self, st: &RunState, w: &mut dbi::snap::SnapWriter) {
+        self.snapshot(w);
+        st.write(w);
+        // Coherence cross-check: total dirty LLC ways, recomputed from the
+        // restored dirty words on restore (see `validate_resume`).
+        w.u64(self.dirty_ways());
+    }
+
+    /// Restores one lane from an open snapshot stream and cross-checks the
+    /// run-state against the restored system: relations that hold for every
+    /// legitimately captured snapshot, so a forged or mismatched image
+    /// fails with [`SnapError::Corrupt`](dbi::snap::SnapError) instead of
+    /// producing plausible-looking results.
+    pub(crate) fn read_lane(
+        &mut self,
+        r: &mut dbi::snap::SnapReader<'_>,
+    ) -> Result<RunState, dbi::snap::SnapError> {
+        use dbi::snap::SnapError;
+        self.restore(r)?;
+        let st = RunState::read(r, self)?;
+        let dirty = r.u64()?;
+        if dirty != self.dirty_ways() {
+            return Err(SnapError::Corrupt(format!(
+                "lane dirty-way cross-check: snapshot says {dirty}, restored LLC has {}",
+                self.dirty_ways()
+            )));
+        }
+        let records: u64 = self.cores.iter().map(|c| c.records).sum();
+        if st.steps != records {
+            return Err(SnapError::Corrupt(format!(
+                "lane step count {} does not match {records} core records",
+                st.steps
+            )));
+        }
+        if st.measuring {
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.insts < self.config.warmup_insts {
+                    return Err(SnapError::Corrupt(format!(
+                        "measuring lane with core {i} still below the warmup quota"
+                    )));
+                }
+                let b = st.base[i];
+                if b.0 > c.insts {
+                    return Err(SnapError::Corrupt(format!(
+                        "core {i} measurement baseline is ahead of the core"
+                    )));
+                }
+                if let Some(e) = st.end[i] {
+                    let window = self.config.measure_insts;
+                    if e.0 < b.0 + window || e.0 > c.insts {
+                        return Err(SnapError::Corrupt(format!(
+                            "core {i} end snapshot outside its measurement window"
+                        )));
+                    }
+                    if e.1 < b.1 || e.2 < b.2 || e.3 < b.3 || e.4 < b.4 {
+                        return Err(SnapError::Corrupt(format!(
+                            "core {i} end snapshot runs backwards from its baseline"
+                        )));
+                    }
+                }
             }
         }
+        Ok(st)
+    }
 
+    /// Total dirty LLC ways, computed through the bulk
+    /// [`DirtyView::mask_words`](cache_sim::DirtyView::mask_words) query.
+    fn dirty_ways(&self) -> u64 {
+        let cache = self.llc.cache();
+        let sets = cache.config().sets();
+        let view = cache.dirty();
+        let mut idx = [cache_sim::SetIdx(0); 64];
+        let mut words = [0u64; 64];
+        let mut total = 0u64;
+        let mut set = 0u64;
+        while set < sets {
+            let n = ((sets - set) as usize).min(64);
+            for (k, slot) in idx[..n].iter_mut().enumerate() {
+                *slot = cache_sim::SetIdx(set + k as u64);
+            }
+            view.mask_words(&idx[..n], &mut words[..n]);
+            total += words[..n]
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>();
+            set += n as u64;
+        }
+        total
+    }
+
+    /// Folds a completed lane into its measured results — the stat diffs
+    /// against the warmup baselines, plus the end-of-run verification
+    /// passes. Mutating (the checker flushes the hierarchy), so the batch
+    /// engine calls it only after every lane has finished stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane has not finished (some core has no end snapshot).
+    pub(crate) fn finish(mut self, st: &RunState) -> MixResult {
         let cores: Vec<CoreResult> = self
             .cores
             .iter()
@@ -521,7 +527,7 @@ impl System {
         let sanitizer = self.llc.sanitizer_report();
         let check = self.checker.is_some().then(|| self.flush_and_verify());
 
-        Ok(RunOutcome::Finished(Box::new(MixResult {
+        MixResult {
             cores,
             llc,
             dram,
@@ -531,7 +537,7 @@ impl System {
             check,
             sanitizer,
             records_processed,
-        })))
+        }
     }
 
     /// Flushes the whole hierarchy and verifies the shadow memory.

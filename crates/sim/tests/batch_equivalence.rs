@@ -1,0 +1,205 @@
+//! Lockstep-batch correctness: a batch of S seeds must be *bit-identical*,
+//! seed for seed, to S scalar runs — across every mechanism and
+//! replacement policy, through mid-batch checkpoint suspension and
+//! resume, and a forged or mismatched batch image must be rejected
+//! instead of restoring into the wrong lanes.
+
+use cache_sim::ReplacementKind;
+use proptest::prelude::*;
+use system_sim::{CheckpointCadence, Mechanism, SessionOutcome, SimSession, SystemConfig};
+use trace_gen::mix::WorkloadMix;
+use trace_gen::Benchmark;
+
+fn mechanism_strategy() -> impl Strategy<Value = Mechanism> {
+    prop::sample::select(Mechanism::ALL.to_vec())
+}
+
+fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+fn replacement_strategy() -> impl Strategy<Value = ReplacementKind> {
+    prop::sample::select(vec![ReplacementKind::Lru, ReplacementKind::Rrip])
+}
+
+fn tiny_config(cores: usize, mechanism: Mechanism) -> SystemConfig {
+    let mut c = SystemConfig::for_cores(cores, mechanism);
+    c.llc_bytes_per_core = 256 * 1024;
+    c.llc_ways = 16;
+    c.warmup_insts = 30_000;
+    c.measure_insts = 30_000;
+    c.predictor_epoch_cycles = 50_000;
+    c
+}
+
+/// The scalar reference: one full run per seed, in seed order.
+fn scalar_digests(mix: &WorkloadMix, config: &SystemConfig, seeds: &[u64]) -> Vec<String> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut c = config.clone();
+            c.seed = seed;
+            SimSession::new(mix, &c)
+                .run()
+                .expect("cold scalar run")
+                .into_single()
+                .digest()
+        })
+        .collect()
+}
+
+fn batch_digests(results: Vec<system_sim::MixResult>) -> Vec<String> {
+    results.iter().map(system_sim::MixResult::digest).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-run equivalence: every mechanism × replacement policy ×
+    /// benchmark, random seed sets and widths.
+    #[test]
+    fn batch_matches_scalar_per_seed(
+        mechanism in mechanism_strategy(),
+        replacement in replacement_strategy(),
+        benchmark in benchmark_strategy(),
+        base_seed in 0u64..1_000,
+        width in 2usize..5,
+    ) {
+        let mut config = tiny_config(1, mechanism);
+        config.llc_replacement = replacement;
+        let mix = WorkloadMix::new(vec![benchmark]);
+        let seeds: Vec<u64> = (0..width as u64).map(|k| base_seed + k * 17 + 1).collect();
+
+        let scalar = scalar_digests(&mix, &config, &seeds);
+        let batch = SimSession::new(&mix, &config)
+            .batch_seeds(&seeds)
+            .run()
+            .expect("cold batch run")
+            .into_results();
+        prop_assert_eq!(scalar, batch_digests(batch));
+    }
+}
+
+/// A batch suspended at a mid-run checkpoint and resumed in a fresh
+/// session finishes bit-identical to both the straight-through batch and
+/// the scalar reference.
+#[test]
+fn mid_batch_checkpoint_resume_is_bit_identical() {
+    let mechanism = Mechanism::Dbi {
+        awb: true,
+        clb: true,
+    };
+    let mut config = tiny_config(2, mechanism);
+    // Checkpoints land at rotation boundaries (a multi-thousand-step
+    // lane burst each); give the run enough records for several.
+    config.warmup_insts = 150_000;
+    config.measure_insts = 150_000;
+    let mix = WorkloadMix::new(vec![Benchmark::Lbm, Benchmark::Mcf]);
+    let seeds = [3u64, 31, 301];
+    let scalar = scalar_digests(&mix, &config, &seeds);
+
+    // Suspend at the first checkpoint after every resume until the batch
+    // finishes — the run is "killed" repeatedly, like the runner's crash
+    // tests, but with all three lanes in one image.
+    let mut resume: Option<Vec<u8>> = None;
+    let mut crashes = 0u32;
+    let resumed = loop {
+        let mut saved: Option<Vec<u8>> = None;
+        let mut sink = |bytes: &[u8]| {
+            saved = Some(bytes.to_vec());
+            false
+        };
+        let outcome = SimSession::new(&mix, &config)
+            .batch_seeds(&seeds)
+            .maybe_resume(resume.as_deref())
+            .cadence(CheckpointCadence::EveryRecords(2_000))
+            .sink(&mut sink)
+            .run()
+            .expect("snapshot written by this test must restore");
+        match outcome {
+            SessionOutcome::Finished(results) => break batch_digests(results),
+            SessionOutcome::Suspended => {
+                crashes += 1;
+                resume = Some(saved.expect("suspension implies a checkpoint"));
+            }
+        }
+    };
+    assert!(crashes > 3, "only {crashes} crashes — loop not exercised");
+    assert_eq!(scalar, resumed);
+}
+
+/// Forged images: a bit flip anywhere in a batch snapshot must fail
+/// restore, not corrupt a lane.
+#[test]
+fn corrupt_batch_snapshot_is_rejected() {
+    let config = tiny_config(1, Mechanism::Baseline);
+    let mix = WorkloadMix::new(vec![Benchmark::Libquantum]);
+    let seeds = [5u64, 6];
+    let mut saved: Option<Vec<u8>> = None;
+    let mut sink = |bytes: &[u8]| {
+        saved = Some(bytes.to_vec());
+        false
+    };
+    let outcome = SimSession::new(&mix, &config)
+        .batch_seeds(&seeds)
+        .cadence(CheckpointCadence::EveryRecords(2_000))
+        .sink(&mut sink)
+        .run()
+        .expect("cold batch run");
+    assert!(matches!(outcome, SessionOutcome::Suspended));
+    let mut bytes = saved.expect("suspension implies a checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    let err = SimSession::new(&mix, &config)
+        .batch_seeds(&seeds)
+        .resume(&bytes)
+        .run();
+    assert!(err.is_err(), "bit-flipped batch snapshot must not restore");
+}
+
+/// A batch image only restores into a session with the *same seeds in the
+/// same order*; reordered or differently sized seed lists are rejected.
+#[test]
+fn batch_snapshot_is_bound_to_its_seed_list() {
+    let config = tiny_config(1, Mechanism::Vwq);
+    let mix = WorkloadMix::new(vec![Benchmark::Stream]);
+    let seeds = [21u64, 22, 23];
+    let mut saved: Option<Vec<u8>> = None;
+    let mut sink = |bytes: &[u8]| {
+        saved = Some(bytes.to_vec());
+        false
+    };
+    let outcome = SimSession::new(&mix, &config)
+        .batch_seeds(&seeds)
+        .cadence(CheckpointCadence::EveryRecords(2_000))
+        .sink(&mut sink)
+        .run()
+        .expect("cold batch run");
+    assert!(matches!(outcome, SessionOutcome::Suspended));
+    let bytes = saved.expect("suspension implies a checkpoint");
+
+    let reordered = [22u64, 21, 23];
+    assert!(
+        SimSession::new(&mix, &config)
+            .batch_seeds(&reordered)
+            .resume(&bytes)
+            .run()
+            .is_err(),
+        "lane order is part of the image"
+    );
+    let narrower = [21u64, 22];
+    assert!(
+        SimSession::new(&mix, &config)
+            .batch_seeds(&narrower)
+            .resume(&bytes)
+            .run()
+            .is_err(),
+        "lane count is part of the image"
+    );
+    // The untouched image still restores and completes.
+    assert!(SimSession::new(&mix, &config)
+        .batch_seeds(&seeds)
+        .resume(&bytes)
+        .run()
+        .is_ok());
+}

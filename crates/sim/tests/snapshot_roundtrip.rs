@@ -4,7 +4,7 @@
 //! enabled (their state rides in the snapshot too).
 
 use proptest::prelude::*;
-use system_sim::{CheckpointCadence, Mechanism, RunOutcome, System, SystemConfig};
+use system_sim::{CheckpointCadence, Mechanism, SessionOutcome, SimSession, System, SystemConfig};
 use trace_gen::mix::WorkloadMix;
 use trace_gen::Benchmark;
 
@@ -29,6 +29,42 @@ fn tiny_config(cores: usize, mechanism: Mechanism, seed: u64) -> SystemConfig {
     c
 }
 
+/// Runs under `cadence`, suspending at the first checkpoint. Returns the
+/// result digest if the run finished before any checkpoint came due, or
+/// the snapshot bytes of the suspension point.
+fn suspend_at_first(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    resume: Option<&[u8]>,
+    cadence: CheckpointCadence,
+) -> Result<String, Vec<u8>> {
+    let mut saved: Option<Vec<u8>> = None;
+    let mut sink = |bytes: &[u8]| {
+        saved = Some(bytes.to_vec());
+        false
+    };
+    let outcome = SimSession::new(mix, config)
+        .maybe_resume(resume)
+        .cadence(cadence)
+        .sink(&mut sink)
+        .run()
+        .expect("valid snapshot bytes");
+    match outcome {
+        SessionOutcome::Finished(_) => Ok(outcome.into_single().digest()),
+        SessionOutcome::Suspended => Err(saved.expect("suspension implies a checkpoint")),
+    }
+}
+
+/// Resumes `bytes` and runs to completion with checkpointing disabled.
+fn resume_to_end(mix: &WorkloadMix, config: &SystemConfig, bytes: &[u8]) -> String {
+    SimSession::new(mix, config)
+        .resume(bytes)
+        .run()
+        .expect("snapshot round-trips")
+        .into_single()
+        .digest()
+}
+
 /// Runs to completion, suspending at the first checkpoint after each
 /// resume — i.e. the run is "killed" every `every` records and restarted
 /// from its last snapshot until it finishes.
@@ -36,22 +72,16 @@ fn run_with_crashes(mix: &WorkloadMix, config: &SystemConfig, every: u64) -> (St
     let mut resume: Option<Vec<u8>> = None;
     let mut crashes = 0u32;
     loop {
-        let mut saved: Option<Vec<u8>> = None;
-        let outcome = System::new(mix, config)
-            .run_resumable(
-                resume.as_deref(),
-                CheckpointCadence::EveryRecords(every),
-                &mut |bytes| {
-                    saved = Some(bytes.to_vec());
-                    false
-                },
-            )
-            .expect("valid snapshot bytes");
-        match outcome {
-            RunOutcome::Finished(result) => return (result.digest(), crashes),
-            RunOutcome::Suspended => {
+        match suspend_at_first(
+            mix,
+            config,
+            resume.as_deref(),
+            CheckpointCadence::EveryRecords(every),
+        ) {
+            Ok(digest) => return (digest, crashes),
+            Err(bytes) => {
                 crashes += 1;
-                resume = Some(saved.expect("suspension implies a checkpoint"));
+                resume = Some(bytes);
             }
         }
     }
@@ -61,7 +91,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// One suspension at a random point (warmup or measurement phase,
-    /// depending on `every`), then resume into a *fresh* system: the final
+    /// depending on `every`), then resume into a *fresh* session: the final
     /// results match a straight-through run field for field.
     #[test]
     fn resume_is_bit_identical(
@@ -74,26 +104,15 @@ proptest! {
         let mix = WorkloadMix::new(vec![benchmark]);
         let straight = System::new(&mix, &config).run().digest();
 
-        let mut saved: Option<Vec<u8>> = None;
-        let outcome = System::new(&mix, &config)
-            .run_resumable(None, CheckpointCadence::EveryRecords(every), &mut |bytes| {
-                saved = Some(bytes.to_vec());
-                false
-            })
-            .expect("cold start cannot fail to decode");
-        let resumed = match outcome {
+        let resumed = match suspend_at_first(
+            &mix,
+            &config,
+            None,
+            CheckpointCadence::EveryRecords(every),
+        ) {
             // `every` exceeded the run length — nothing to resume.
-            RunOutcome::Finished(result) => result.digest(),
-            RunOutcome::Suspended => {
-                let bytes = saved.expect("suspension implies a checkpoint");
-                match System::new(&mix, &config)
-                    .run_resumable(Some(&bytes), CheckpointCadence::Disabled, &mut |_| true)
-                    .expect("snapshot round-trips")
-                {
-                    RunOutcome::Finished(result) => result.digest(),
-                    RunOutcome::Suspended => unreachable!("always-true sink"),
-                }
-            }
+            Ok(digest) => digest,
+            Err(bytes) => resume_to_end(&mix, &config, &bytes),
         };
         prop_assert_eq!(straight, resumed);
     }
@@ -148,25 +167,9 @@ fn wall_clock_cadence_resume_is_bit_identical() {
         target: std::time::Duration::ZERO,
         probe_records: 700,
     };
-    let mut saved: Option<Vec<u8>> = None;
-    let outcome = System::new(&mix, &config)
-        .run_resumable(None, cadence, &mut |bytes| {
-            saved = Some(bytes.to_vec());
-            false
-        })
-        .unwrap();
-    assert!(matches!(outcome, RunOutcome::Suspended));
-    let resumed = match System::new(&mix, &config)
-        .run_resumable(
-            Some(&saved.unwrap()),
-            CheckpointCadence::Disabled,
-            &mut |_| true,
-        )
-        .expect("snapshot round-trips")
-    {
-        RunOutcome::Finished(result) => result.digest(),
-        RunOutcome::Suspended => unreachable!("always-true sink"),
-    };
+    let bytes = suspend_at_first(&mix, &config, None, cadence)
+        .expect_err("a zero wall-clock target must suspend before finishing");
+    let resumed = resume_to_end(&mix, &config, &bytes);
     assert_eq!(straight, resumed);
 }
 
@@ -174,22 +177,11 @@ fn wall_clock_cadence_resume_is_bit_identical() {
 fn corrupt_snapshot_is_rejected() {
     let config = tiny_config(1, Mechanism::Baseline, 3);
     let mix = WorkloadMix::new(vec![Benchmark::Libquantum]);
-    let mut saved: Option<Vec<u8>> = None;
-    let outcome = System::new(&mix, &config)
-        .run_resumable(None, CheckpointCadence::EveryRecords(500), &mut |bytes| {
-            saved = Some(bytes.to_vec());
-            false
-        })
-        .unwrap();
-    assert!(matches!(outcome, RunOutcome::Suspended));
-    let mut bytes = saved.unwrap();
+    let mut bytes = suspend_at_first(&mix, &config, None, CheckpointCadence::EveryRecords(500))
+        .expect_err("short cadence must suspend");
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    let err = System::new(&mix, &config).run_resumable(
-        Some(&bytes),
-        CheckpointCadence::Disabled,
-        &mut |_| true,
-    );
+    let err = SimSession::new(&mix, &config).resume(&bytes).run();
     assert!(err.is_err(), "bit-flipped snapshot must not restore");
 }
 
@@ -204,19 +196,14 @@ fn snapshot_from_a_different_mechanism_is_rejected() {
         },
         3,
     );
-    let mut saved: Option<Vec<u8>> = None;
-    let outcome = System::new(&mix, &dbi_config)
-        .run_resumable(None, CheckpointCadence::EveryRecords(500), &mut |bytes| {
-            saved = Some(bytes.to_vec());
-            false
-        })
-        .unwrap();
-    assert!(matches!(outcome, RunOutcome::Suspended));
+    let bytes = suspend_at_first(
+        &mix,
+        &dbi_config,
+        None,
+        CheckpointCadence::EveryRecords(500),
+    )
+    .expect_err("short cadence must suspend");
     let baseline_config = tiny_config(1, Mechanism::Baseline, 3);
-    let err = System::new(&mix, &baseline_config).run_resumable(
-        Some(&saved.unwrap()),
-        CheckpointCadence::Disabled,
-        &mut |_| true,
-    );
+    let err = SimSession::new(&mix, &baseline_config).resume(&bytes).run();
     assert!(err.is_err(), "mechanism mismatch must not restore");
 }
